@@ -1,0 +1,172 @@
+// Command hercules-cluster runs the online serving stage (Fig. 9c): it
+// provisions a heterogeneous fleet against diurnal per-workload loads
+// with one of the four cluster scheduling policies and prints the
+// per-interval activation/power series plus a run summary.
+//
+// Usage:
+//
+//	hercules-cluster -table table.json [-policy hercules|greedy|priority|nh]
+//	                 [-fleet accelerated|cpu|default] [-days 1]
+//	                 [-models RMC1,RMC2] [-peak 20000] [-seed 42] [-steps]
+//
+// The -table JSON comes from hercules-profile. Without it, a small
+// demonstration table is profiled on the fly for RMC1/RMC2 on T2/T3/T7
+// (about a minute).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hercules/internal/cluster"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+	"hercules/internal/workload"
+)
+
+func main() {
+	var (
+		tableFlag  = flag.String("table", "", "efficiency-table JSON from hercules-profile")
+		policyFlag = flag.String("policy", "hercules", "nh, greedy, priority or hercules")
+		fleetFlag  = flag.String("fleet", "default", "fleet: default, cpu or accelerated")
+		daysFlag   = flag.Int("days", 1, "days of diurnal load")
+		modelsFlag = flag.String("models", "DLRM-RMC1,DLRM-RMC2", "workload models")
+		peakFlag   = flag.Float64("peak", 0, "per-workload peak QPS (0 = auto-size to fleet)")
+		seedFlag   = flag.Int64("seed", 42, "deterministic seed")
+		stepsFlag  = flag.Bool("steps", false, "print every provisioning interval")
+	)
+	flag.Parse()
+
+	policy, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fleet, err := parseFleet(*fleetFlag)
+	if err != nil {
+		fatal(err)
+	}
+	names := splitModels(*modelsFlag)
+
+	table, err := loadOrBuildTable(*tableFlag, names, fleet, *seedFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	peak := *peakFlag
+	if peak <= 0 {
+		peak = autoPeak(table, fleet, names)
+		fmt.Fprintf(os.Stderr, "auto-sized per-workload peak: %.0f QPS\n", peak)
+	}
+	var ws []cluster.Workload
+	for i, name := range names {
+		tr := workload.Synthesize(workload.DefaultDiurnal(name, peak, *daysFlag, *seedFlag+int64(i)))
+		ws = append(ws, cluster.Workload{Model: name, Trace: tr})
+	}
+
+	prov := cluster.NewProvisioner(fleet, table, policy, *seedFlag)
+	run := prov.Run(ws)
+
+	if *stepsFlag {
+		fmt.Println("time_h\tservers\tpower_kW\tsatisfied")
+		for _, s := range run.Steps {
+			fmt.Printf("%.2f\t%d\t%.1f\t%v\n",
+				s.TimeS/3600, s.ActiveServers, s.ProvisionedPowerW/1e3, s.Satisfied)
+		}
+	}
+	fmt.Printf("policy=%s days=%d workloads=%s\n", policy, *daysFlag, strings.Join(names, ","))
+	fmt.Printf("peak: %d servers, %.1f kW\n", run.PeakServers, run.PeakPowerW/1e3)
+	fmt.Printf("avg:  %.1f servers, %.1f kW\n", run.AvgServers, run.AvgPowerW/1e3)
+	fmt.Printf("energy: %.0f kJ over %d intervals, %d unsatisfied\n",
+		run.TotalEnergyKJ, len(run.Steps), run.UnsatSteps)
+	fmt.Printf("churn: %d activations / %d releases (%.0f s of workload setup)\n",
+		run.Activations, run.Releases, run.SetupOverheadS)
+}
+
+func parsePolicy(s string) (cluster.Policy, error) {
+	switch strings.ToLower(s) {
+	case "nh":
+		return cluster.NH, nil
+	case "greedy":
+		return cluster.Greedy, nil
+	case "priority":
+		return cluster.Priority, nil
+	case "hercules":
+		return cluster.Hercules, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func parseFleet(s string) (hw.Fleet, error) {
+	switch strings.ToLower(s) {
+	case "default":
+		return hw.DefaultFleet(), nil
+	case "cpu":
+		return hw.CPUOnlyFleet(), nil
+	case "accelerated":
+		return hw.AcceleratedFleet(), nil
+	}
+	return hw.Fleet{}, fmt.Errorf("unknown fleet %q", s)
+}
+
+func splitModels(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if !strings.HasPrefix(name, "DLRM-") && strings.HasPrefix(name, "RMC") {
+			name = "DLRM-" + name
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func loadOrBuildTable(path string, names []string, fleet hw.Fleet, seed int64) (*profiler.Table, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var entries []profiler.Entry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, err
+		}
+		return profiler.FromEntries(profiler.Hercules, entries), nil
+	}
+	fmt.Fprintln(os.Stderr, "no -table given; profiling requested pairs now (slow)...")
+	var models []*model.Model
+	for _, name := range names {
+		m, err := model.ByName(name, model.Prod)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return profiler.BuildTable(models, fleet.Types, profiler.Options{
+		Sched: profiler.Hercules, Seed: seed,
+	}), nil
+}
+
+// autoPeak sizes the per-workload peak to ~40% of the fleet's best-case
+// aggregate capacity split across the workloads.
+func autoPeak(table *profiler.Table, fleet hw.Fleet, names []string) float64 {
+	var total float64
+	for i, srv := range fleet.Types {
+		best := 0.0
+		for _, name := range names {
+			if e, ok := table.Get(srv.Type, name); ok && e.QPS > best {
+				best = e.QPS
+			}
+		}
+		total += best * float64(fleet.Counts[i])
+	}
+	return total * 0.4 / float64(len(names))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hercules-cluster:", err)
+	os.Exit(1)
+}

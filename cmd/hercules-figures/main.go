@@ -1,0 +1,127 @@
+// Command hercules-figures regenerates the paper's tables and figures
+// on the simulated substrate and prints their data series.
+//
+// Usage:
+//
+//	hercules-figures -fig table1,fig2b,fig5     # cheap figures
+//	hercules-figures -fig fig14                 # task-scheduler sweep (minutes)
+//	hercules-figures -fig all -table table.json # everything, cached profile
+//
+// Figures needing the Fig. 9b efficiency table (fig8, fig15, fig16,
+// fig17, headline, ablation-lp) profile all 60 pairs on first use unless
+// -table provides a cache from hercules-profile.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hercules/internal/experiments"
+	"hercules/internal/profiler"
+)
+
+// figures maps figure keys to their runners.
+var figures = map[string]func(seed int64) experiments.Renderer{
+	"table1": func(int64) experiments.Renderer { return experiments.TableI() },
+	"table2": func(int64) experiments.Renderer { return experiments.TableII() },
+	"fig1":   func(int64) experiments.Renderer { return experiments.Fig1ModelFootprint() },
+	"fig2b":  func(s int64) experiments.Renderer { return experiments.Fig2bQuerySizes(s) },
+	"fig2c":  func(s int64) experiments.Renderer { return experiments.Fig2cPoolingFactors(s) },
+	"fig2d":  func(s int64) experiments.Renderer { return experiments.Fig2dDiurnalLoad(s) },
+	"fig4":   func(s int64) experiments.Renderer { return experiments.Fig4HostParallelism(s) },
+	"fig5":   func(int64) experiments.Renderer { return experiments.Fig5OpWorkerIdle() },
+	"fig6":   func(s int64) experiments.Renderer { return experiments.Fig6AcceleratorPolicies(s) },
+	"fig7":   func(s int64) experiments.Renderer { return experiments.Fig7FusionBreakdown(s) },
+	"fig8":   func(s int64) experiments.Renderer { return experiments.Fig8ClusterCharacterization(s) },
+	"fig11":  func(s int64) experiments.Renderer { return experiments.Fig11ParallelismSpace(s) },
+	"fig12":  func(s int64) experiments.Renderer { return experiments.Fig12SDPipeline(s) },
+	"fig14": func(s int64) experiments.Renderer {
+		return experiments.Fig14TaskSchedulerSpeedup(s, nil)
+	},
+	"fig15":    func(int64) experiments.Renderer { return experiments.Fig15ServerArchExploration() },
+	"fig16":    func(s int64) experiments.Renderer { return experiments.Fig16ModelEvolution(s) },
+	"fig17":    func(s int64) experiments.Renderer { return experiments.Fig17ClusterSchedulers(s) },
+	"headline": func(s int64) experiments.Renderer { return experiments.Fig17ClusterSchedulers(s) },
+	"ablation-contention": func(s int64) experiments.Renderer {
+		return experiments.AblationNoContention(s)
+	},
+	"ablation-search": func(s int64) experiments.Renderer {
+		return experiments.AblationSearchVsExhaustive(s)
+	},
+	"ablation-hot": func(s int64) experiments.Renderer {
+		return experiments.AblationNoHotPartition(s)
+	},
+	"ablation-lp": func(s int64) experiments.Renderer {
+		return experiments.AblationLPRounding(s)
+	},
+}
+
+// cheap figures run in under a second; "all" runs everything.
+var order = []string{
+	"table1", "table2", "fig1", "fig2b", "fig2c", "fig2d", "fig5",
+	"fig4", "fig7", "fig12", "fig11", "fig6", "fig14",
+	"fig8", "fig15", "fig16", "fig17", "headline",
+	"ablation-contention", "ablation-search", "ablation-hot", "ablation-lp",
+}
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "comma-separated figure keys, or 'all' / 'list'")
+		seedFlag  = flag.Int64("seed", experiments.Seed, "deterministic seed")
+		tableFlag = flag.String("table", "", "efficiency-table JSON cache from hercules-profile")
+	)
+	flag.Parse()
+
+	if *figFlag == "" || *figFlag == "list" {
+		fmt.Println("available figures:")
+		keys := make([]string, 0, len(figures))
+		for k := range figures {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Println(" ", k)
+		}
+		return
+	}
+
+	if *tableFlag != "" {
+		data, err := os.ReadFile(*tableFlag)
+		if err != nil {
+			fatal(err)
+		}
+		var entries []profiler.Entry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			fatal(err)
+		}
+		experiments.SetHerculesTable(profiler.FromEntries(profiler.Hercules, entries))
+		fmt.Fprintf(os.Stderr, "loaded efficiency table from %s (%d entries)\n",
+			*tableFlag, len(entries))
+	}
+
+	var keys []string
+	if *figFlag == "all" {
+		keys = order
+	} else {
+		for _, k := range strings.Split(*figFlag, ",") {
+			keys = append(keys, strings.TrimSpace(strings.ToLower(k)))
+		}
+	}
+	for _, k := range keys {
+		run, ok := figures[k]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q (try -fig list)", k))
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", k)
+		fmt.Println(run(*seedFlag).Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hercules-figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command hercules-profile runs the offline profiling stage (Fig. 9a):
+// it explores the task-scheduling space for every requested
+// workload/server pair and emits the efficiency-tuple table that the
+// online cluster provisioner consumes.
+//
+// Usage:
+//
+//	hercules-profile [-models RMC1,DIN] [-servers T2,T3,T7] \
+//	                 [-sched hercules|baseline] [-seed 42] [-out table.json]
+//
+// Without flags it profiles all six Table I models on all ten Table II
+// server types with the Hercules task scheduler (this takes minutes).
+// The JSON written by -out can be fed to hercules-cluster and
+// hercules-figures via their -table flag to skip re-profiling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+)
+
+func main() {
+	var (
+		modelsFlag  = flag.String("models", "", "comma-separated model names (default: all six)")
+		serversFlag = flag.String("servers", "", "comma-separated server types (default: T1-T10)")
+		schedFlag   = flag.String("sched", "hercules", "task scheduler: hercules or baseline")
+		seedFlag    = flag.Int64("seed", 42, "deterministic seed")
+		outFlag     = flag.String("out", "", "write the table as JSON to this path")
+		parFlag     = flag.Int("par", 8, "concurrent pair profiling")
+	)
+	flag.Parse()
+
+	models, err := parseModels(*modelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	servers, err := parseServers(*serversFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sched := profiler.Hercules
+	switch *schedFlag {
+	case "hercules":
+	case "baseline":
+		sched = profiler.Baseline
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *schedFlag))
+	}
+
+	fmt.Fprintf(os.Stderr, "profiling %d models x %d server types with the %s scheduler...\n",
+		len(models), len(servers), sched)
+	table := profiler.BuildTable(models, servers, profiler.Options{
+		Sched: sched, Seed: *seedFlag, Parallelism: *parFlag,
+	})
+
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	fmt.Print(table.Format(names))
+
+	if *outFlag != "" {
+		data, err := json.MarshalIndent(table.Entries(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outFlag, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outFlag)
+	}
+}
+
+func parseModels(s string) ([]*model.Model, error) {
+	if s == "" {
+		return model.Zoo(model.Prod), nil
+	}
+	var out []*model.Model
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		// Accept both full names and RMC shorthands.
+		if !strings.HasPrefix(name, "DLRM-") && strings.HasPrefix(name, "RMC") {
+			name = "DLRM-" + name
+		}
+		m, err := model.ByName(name, model.Prod)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseServers(s string) ([]hw.Server, error) {
+	if s == "" {
+		return hw.AllServerTypes(), nil
+	}
+	var out []hw.Server
+	for _, label := range strings.Split(s, ",") {
+		label = strings.TrimSpace(label)
+		found := false
+		for _, srv := range hw.AllServerTypes() {
+			if srv.Type == label {
+				out = append(out, srv)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown server type %q", label)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hercules-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package hercules is a simulation-based reproduction of "Hercules:
+// Heterogeneity-Aware Inference Serving for At-Scale Personalized
+// Recommendation" (HPCA 2022).
+//
+// The public surface of this repository is organised as:
+//
+//   - internal/model      — the Table I recommendation-model zoo and op-graph IR
+//   - internal/hw         — the Table II heterogeneous server types T1–T10
+//   - internal/workload   — query, pooling and diurnal-load generators
+//   - internal/costmodel  — CPU roofline / GPU kernel / NMP cost models
+//   - internal/nmpsim     — bank-level near-memory-processing simulator + LUT
+//   - internal/sim        — the per-server serving simulator
+//   - internal/sched      — Algorithm 1 gradient search and baselines
+//   - internal/partition  — locality-aware hot-embedding partitioning
+//   - internal/profiler   — offline profiling (the Fig. 9b efficiency table)
+//   - internal/lp         — two-phase simplex solver
+//   - internal/cluster    — online heterogeneity-aware provisioning
+//   - internal/experiments — one driver per paper table/figure
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see EXPERIMENTS.md for the
+// paper-vs-measured record and README.md for a tour.
+package hercules

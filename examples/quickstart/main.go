@@ -1,0 +1,52 @@
+// Quickstart: profile one recommendation model on one server type with
+// the Hercules gradient-based task-scheduling search (Algorithm 1) and
+// print the optimal parallelism configuration it finds.
+//
+//	go run ./examples/quickstart
+//
+// Expected runtime: a few seconds.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/sched"
+	"hercules/internal/sim"
+)
+
+func main() {
+	// DLRM-RMC1 (Table I) on server type T2: a 20-core Xeon Gold 6138
+	// with 128 GB of DDR4 (Table II).
+	m := model.DLRMRMC1(model.Prod)
+	srv := hw.ServerType("T2")
+	fmt.Printf("model: %s (%s), SLA target %.0f ms, %d embedding tables (%.1f GB)\n",
+		m.Name, m.Service, m.SLATargetMS, len(m.Tables),
+		float64(m.EmbeddingBytes())/(1<<30))
+	fmt.Printf("server: %s — %d cores @ %.1f GHz, %.0f GB/s memory\n\n",
+		srv, srv.CPU.PhysicalCores, srv.CPU.FrequencyHz/1e9,
+		srv.Memory.BandwidthBps/1e9)
+
+	s := sim.New(srv, m)
+
+	// Baseline: DeepRecSys — one thread per core, batch-size sweep only.
+	searcher := sched.NewSearcher(s, sched.Objective{SLAMS: m.SLATargetMS, Seed: 42})
+	start := time.Now()
+	base := searcher.SearchDeepRecSys()
+	fmt.Printf("DeepRecSys baseline: %4.0f QPS  (%d threads x %d cores, batch %d) in %v\n",
+		base.QPS(), base.Cfg.Threads, base.Cfg.OpWorkers, base.Cfg.Batch,
+		time.Since(start).Round(time.Millisecond))
+
+	// Hercules: the full Psp(M+D+O) exploration across placements.
+	start = time.Now()
+	best := searcher.SearchHercules()
+	fmt.Printf("Hercules:            %4.0f QPS  (placement %v) in %v\n",
+		best.QPS(), best.Cfg.Place, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  config: %+v\n", best.Cfg)
+	fmt.Printf("  at capacity: p95 = %.1f ms, %.0f W provisioned, %.2f QPS/W\n",
+		best.Cap.At.TailMS, best.Cap.At.ProvisionedW, best.Cap.At.QPSPerWatt)
+	fmt.Printf("\nspeedup over baseline: %.2fx with %d capacity measurements\n",
+		best.QPS()/base.QPS(), searcher.Evals)
+}

@@ -1,0 +1,716 @@
+// Package cluster implements Hercules' online serving stage (§IV-C,
+// Fig. 9c, Fig. 13): the cluster manager that, at every re-provisioning
+// interval, maps diurnal per-workload loads onto a heterogeneous fleet.
+//
+// Four scheduling policies are provided:
+//
+//   - NH — heterogeneity-oblivious: random server assignment [8,9 baseline];
+//   - Greedy — heterogeneity-aware greedy: each workload takes its
+//     best-ranked (QPS/W) available servers, competing workloads
+//     arbitrated randomly [8,9];
+//   - Priority — the characterization §III-C improvement: contended
+//     server types go to the workload with the larger efficiency gain;
+//   - Hercules — the constrained-optimization provisioner of
+//     Equations (1)–(3), solved by LP relaxation (internal/lp) with
+//     greedy integral repair.
+//
+// All policies consume the offline efficiency table (internal/profiler)
+// exactly as Fig. 9 prescribes.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hercules/internal/hw"
+	"hercules/internal/lp"
+	"hercules/internal/profiler"
+	"hercules/internal/stats"
+	"hercules/internal/workload"
+)
+
+// Policy selects the provisioning algorithm.
+type Policy int
+
+// Provisioning policies.
+const (
+	NH Policy = iota
+	Greedy
+	Priority
+	Hercules
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case NH:
+		return "NH"
+	case Greedy:
+		return "greedy"
+	case Priority:
+		return "priority"
+	case Hercules:
+		return "hercules"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Workload pairs a model name with its diurnal load trace.
+type Workload struct {
+	Model string
+	Trace workload.DiurnalTrace
+}
+
+// Allocation maps serverType → model → activated server count.
+type Allocation map[string]map[string]int
+
+// add activates n servers of type h for model m.
+func (a Allocation) add(h, m string, n int) {
+	if a[h] == nil {
+		a[h] = make(map[string]int)
+	}
+	a[h][m] += n
+}
+
+// Total returns the number of activated servers.
+func (a Allocation) Total() int {
+	sum := 0
+	for _, row := range a {
+		for _, n := range row {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// CountFor returns the servers of type h activated (across models).
+func (a Allocation) CountFor(h string) int {
+	sum := 0
+	for _, n := range a[h] {
+		sum += n
+	}
+	return sum
+}
+
+// Provisioner drives one policy over a fleet.
+type Provisioner struct {
+	Fleet hw.Fleet
+	Table *profiler.Table
+	Kind  Policy
+	// OverProvisionR is the load headroom R of Equation (2) (e.g. 0.05
+	// = 5% above the instantaneous load).
+	OverProvisionR float64
+	// NaiveCeil switches the LP integerization from greedy repair to
+	// naive per-variable ceiling (DESIGN.md ablation #3).
+	NaiveCeil bool
+	// AutoR estimates OverProvisionR from the traces at the start of a
+	// Run (§IV-C's history-profiled headroom).
+	AutoR bool
+	rng   *rand.Rand
+}
+
+// NewProvisioner builds a provisioner; seed drives the random
+// arbitration of the NH and Greedy policies.
+func NewProvisioner(fleet hw.Fleet, table *profiler.Table, kind Policy, seed int64) *Provisioner {
+	return &Provisioner{
+		Fleet:          fleet,
+		Table:          table,
+		Kind:           kind,
+		OverProvisionR: 0.05,
+		rng:            stats.NewRand(seed),
+	}
+}
+
+// StepResult is the provisioning decision for one interval.
+type StepResult struct {
+	TimeS             float64
+	Alloc             Allocation
+	ActiveServers     int
+	ProvisionedPowerW float64
+	// Satisfied reports whether every workload's target capacity was met.
+	Satisfied bool
+	// ServedQPS / TargetQPS per model.
+	ServedQPS map[string]float64
+	TargetQPS map[string]float64
+}
+
+// Step provisions for the given instantaneous loads (QPS per model).
+func (p *Provisioner) Step(loads map[string]float64) StepResult {
+	target := make(map[string]float64, len(loads))
+	for m, l := range loads {
+		target[m] = l * (1 + p.OverProvisionR)
+	}
+	var alloc Allocation
+	switch p.Kind {
+	case NH:
+		alloc = p.allocNH(target)
+	case Greedy:
+		alloc = p.allocGreedy(target, false)
+	case Priority:
+		alloc = p.allocGreedy(target, true)
+	case Hercules:
+		alloc = p.allocLP(target)
+	default:
+		alloc = Allocation{}
+	}
+	return p.finishStep(alloc, target)
+}
+
+func (p *Provisioner) finishStep(alloc Allocation, target map[string]float64) StepResult {
+	res := StepResult{
+		Alloc:     alloc,
+		ServedQPS: make(map[string]float64),
+		TargetQPS: target,
+		Satisfied: true,
+	}
+	for h, row := range alloc {
+		for m, n := range row {
+			e := p.Table.MustGet(h, m)
+			res.ServedQPS[m] += float64(n) * e.QPS
+			res.ProvisionedPowerW += float64(n) * e.PowerW
+			res.ActiveServers += n
+		}
+	}
+	for m, t := range target {
+		if res.ServedQPS[m] < t-1e-6 {
+			res.Satisfied = false
+		}
+	}
+	return res
+}
+
+// modelNames returns the workload names sorted for determinism.
+func modelNames(target map[string]float64) []string {
+	out := make([]string, 0, len(target))
+	for m := range target {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allocNH randomly assigns available servers until each load is met,
+// ignoring heterogeneity (the NH baseline).
+func (p *Provisioner) allocNH(target map[string]float64) Allocation {
+	alloc := Allocation{}
+	avail := p.availability()
+	// Flatten the fleet into a shuffled deck of server slots.
+	var deck []string
+	for _, srv := range p.Fleet.Types {
+		for i := 0; i < avail[srv.Type]; i++ {
+			deck = append(deck, srv.Type)
+		}
+	}
+	p.rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+
+	remaining := make(map[string]float64, len(target))
+	for m, t := range target {
+		remaining[m] = t
+	}
+	names := modelNames(target)
+	for _, h := range deck {
+		// Serve the workload with the largest unmet load this server can
+		// actually serve.
+		bestM, bestRem := "", 0.0
+		for _, m := range names {
+			if remaining[m] <= 0 {
+				continue
+			}
+			if e, ok := p.Table.Get(h, m); ok && e.QPS > 0 && remaining[m] > bestRem {
+				bestM, bestRem = m, remaining[m]
+			}
+		}
+		if bestM == "" {
+			continue
+		}
+		e := p.Table.MustGet(h, bestM)
+		alloc.add(h, bestM, 1)
+		remaining[bestM] -= e.QPS
+	}
+	return alloc
+}
+
+// allocGreedy is the heterogeneity-aware greedy scheduler of [8,9]:
+// workloads take servers from their QPS/W ranking, best first. With
+// priority=false, competing workloads are arbitrated in random order
+// each round (the paper's criticism); with priority=true, the workload
+// with the larger efficiency *gain* on the contended type goes first
+// (the §III-C priority-aware scheduler).
+func (p *Provisioner) allocGreedy(target map[string]float64, priority bool) Allocation {
+	alloc := Allocation{}
+	avail := p.availability()
+	remaining := make(map[string]float64, len(target))
+	for m, t := range target {
+		remaining[m] = t
+	}
+	names := modelNames(target)
+	rank := make(map[string][]string, len(names))
+	for _, m := range names {
+		rank[m] = p.Table.RankServers(m)
+	}
+	gain := func(m string) float64 {
+		// Efficiency improvement ratio of the model's best available
+		// type over its fallback (worst-ranked available) type — the
+		// paper's "higher energy efficiency improvement" criterion
+		// (Fig. 8a: NMP buys RMC2 2.04× vs RMC1's 1.75×).
+		var first, last float64
+		for _, h := range rank[m] {
+			if avail[h] > 0 {
+				if e, ok := p.Table.Get(h, m); ok && e.QPS > 0 {
+					if first == 0 {
+						first = e.QPSPerWatt
+					}
+					last = e.QPSPerWatt
+				}
+			}
+		}
+		if last == 0 {
+			return 0
+		}
+		return first / last
+	}
+	// assignOne gives workload m its best available server; reports
+	// whether any server could be assigned. In priority mode a residual
+	// demand smaller than one best-type server is served by the cheapest
+	// sufficient server instead — burning a scarce accelerator on a
+	// crumb of load wastes the type for the other workloads.
+	assignOne := func(m string) bool {
+		if priority {
+			var bestH string
+			bestPower := 0.0
+			for _, h := range rank[m] {
+				if avail[h] == 0 {
+					continue
+				}
+				e, ok := p.Table.Get(h, m)
+				if !ok || e.QPS <= 0 {
+					continue
+				}
+				if e.QPS >= remaining[m] {
+					// Sufficient alone: candidate by absolute power.
+					if bestH == "" || e.PowerW < bestPower {
+						bestH, bestPower = h, e.PowerW
+					}
+				} else if bestH == "" {
+					// Highest-ranked insufficient server is the fallback.
+					bestH, bestPower = h, e.PowerW
+					break
+				}
+			}
+			if bestH == "" {
+				return false
+			}
+			e := p.Table.MustGet(bestH, m)
+			alloc.add(bestH, m, 1)
+			avail[bestH]--
+			remaining[m] -= e.QPS
+			return true
+		}
+		for _, h := range rank[m] {
+			if avail[h] == 0 {
+				continue
+			}
+			e, ok := p.Table.Get(h, m)
+			if !ok || e.QPS <= 0 {
+				continue
+			}
+			alloc.add(h, m, 1)
+			avail[h]--
+			remaining[m] -= e.QPS
+			return true
+		}
+		return false
+	}
+	for {
+		var order []string
+		for _, m := range names {
+			if remaining[m] > 0 {
+				order = append(order, m)
+			}
+		}
+		if len(order) == 0 {
+			return alloc
+		}
+		progress := false
+		if priority {
+			// One server at a time to the workload with the largest
+			// efficiency gain on its current best type: the higher-gain
+			// workload exhausts the contended type before others touch it.
+			sort.SliceStable(order, func(i, j int) bool { return gain(order[i]) > gain(order[j]) })
+			progress = assignOne(order[0])
+			if !progress && len(order) > 1 {
+				for _, m := range order[1:] {
+					if assignOne(m) {
+						progress = true
+						break
+					}
+				}
+			}
+		} else {
+			// Random round-robin arbitration (the paper's greedy [8,9]).
+			p.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, m := range order {
+				if remaining[m] <= 0 {
+					continue
+				}
+				if assignOne(m) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return alloc // fleet exhausted
+		}
+	}
+}
+
+// allocLP solves the provisioning LP of Equations (1)–(3) and repairs
+// the relaxation to integers.
+func (p *Provisioner) allocLP(target map[string]float64) Allocation {
+	names := modelNames(target)
+	types := p.Fleet.Types
+	nv := len(types) * len(names)
+	varIdx := func(h, m int) int { return h*len(names) + m }
+
+	prob := lp.Problem{C: make([]float64, nv)}
+	qps := make([]float64, nv)
+	for h, srv := range types {
+		for m, name := range names {
+			e, ok := p.Table.Get(srv.Type, name)
+			j := varIdx(h, m)
+			if ok && e.QPS > 0 {
+				prob.C[j] = e.PowerW
+				qps[j] = e.QPS
+			} else {
+				// Unservable pair: prohibitively expensive, zero capacity.
+				prob.C[j] = 1e12
+				qps[j] = 0
+			}
+		}
+	}
+	// Load constraints (Equation 2).
+	for m, name := range names {
+		row := make([]float64, nv)
+		for h := range types {
+			row[varIdx(h, m)] = qps[varIdx(h, m)]
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, target[name])
+		prob.Rel = append(prob.Rel, lp.GE)
+	}
+	// Availability constraints (Equation 3).
+	for h := range types {
+		row := make([]float64, nv)
+		for m := range names {
+			row[varIdx(h, m)] = 1
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, float64(p.Fleet.Counts[h]))
+		prob.Rel = append(prob.Rel, lp.LE)
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil || sol.Status != lp.Optimal {
+		// Fleet cannot satisfy the loads (e.g. late model evolution):
+		// fall back to priority-greedy best effort.
+		return p.allocGreedy(target, true)
+	}
+
+	// Integral repair: floor the relaxation (or ceil it under the naive
+	// ablation mode), then greedily add servers (cheapest power per unit
+	// of remaining demand) until targets are met.
+	alloc := Allocation{}
+	avail := p.availability()
+	remaining := make(map[string]float64, len(names))
+	for _, name := range names {
+		remaining[name] = target[name]
+	}
+	for h, srv := range types {
+		for m, name := range names {
+			x := sol.X[varIdx(h, m)]
+			n := int(x + 1e-9)
+			if p.NaiveCeil && x > 1e-9 && x > float64(n) {
+				n++
+			}
+			if n <= 0 {
+				continue
+			}
+			if n > avail[srv.Type] {
+				n = avail[srv.Type]
+			}
+			if n > 0 {
+				alloc.add(srv.Type, name, n)
+				avail[srv.Type] -= n
+				remaining[name] -= float64(n) * qps[varIdx(h, m)]
+			}
+		}
+	}
+	for _, name := range names {
+		for remaining[name] > 1e-9 {
+			// Prefer the cheapest *sufficient* server for the residual;
+			// fall back to the best power-per-QPS when no single server
+			// covers it. (A fractional LP variable wastes nothing; an
+			// integral server does, so the last server is chosen by
+			// absolute power.)
+			bestH, bestCost := -1, 0.0
+			sufficient := false
+			for h, srv := range types {
+				if avail[srv.Type] == 0 {
+					continue
+				}
+				e, ok := p.Table.Get(srv.Type, name)
+				if !ok || e.QPS <= 0 {
+					continue
+				}
+				if e.QPS >= remaining[name] {
+					if !sufficient || e.PowerW < bestCost {
+						bestH, bestCost, sufficient = h, e.PowerW, true
+					}
+				} else if !sufficient {
+					cost := e.PowerW / e.QPS
+					if bestH < 0 || cost < bestCost {
+						bestH, bestCost = h, cost
+					}
+				}
+			}
+			if bestH < 0 {
+				break // fleet exhausted
+			}
+			srvType := types[bestH].Type
+			e := p.Table.MustGet(srvType, name)
+			alloc.add(srvType, name, 1)
+			avail[srvType]--
+			remaining[name] -= e.QPS
+		}
+	}
+	p.trim(alloc, target)
+	// The LP relaxation is optimal, but integral repair can leave a
+	// rounding gap; the priority-greedy heuristic is integral by
+	// construction. Keep whichever integral plan provisions less power
+	// (ties broken toward fewer servers) — the optimizer must never do
+	// worse than the heuristic it replaces.
+	if alt := p.allocGreedy(copyTarget(target), true); betterAlloc(p, alt, alloc, target) {
+		return alt
+	}
+	return alloc
+}
+
+// copyTarget clones the target map (allocGreedy mutates its remaining
+// copy, not the input, but the LP path reuses target afterwards).
+func copyTarget(target map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(target))
+	for k, v := range target {
+		out[k] = v
+	}
+	return out
+}
+
+// betterAlloc reports whether allocation a beats b: both must satisfy
+// the targets they can; lower provisioned power wins, then fewer
+// servers.
+func betterAlloc(p *Provisioner, a, b Allocation, target map[string]float64) bool {
+	power := func(al Allocation) (watts float64, servers int, unmet float64) {
+		served := make(map[string]float64)
+		for h, row := range al {
+			for m, n := range row {
+				e := p.Table.MustGet(h, m)
+				watts += float64(n) * e.PowerW
+				servers += n
+				served[m] += float64(n) * e.QPS
+			}
+		}
+		for m, t := range target {
+			if served[m] < t {
+				unmet += t - served[m]
+			}
+		}
+		return watts, servers, unmet
+	}
+	aw, as, au := power(a)
+	bw, bs, bu := power(b)
+	if au != bu {
+		return au < bu // feasibility first
+	}
+	if aw != bw {
+		return aw < bw
+	}
+	return as < bs
+}
+
+// trim removes servers the allocation does not need: integral rounding
+// can leave a workload over-covered by more than one server's capacity.
+// The most power-hungry redundancy goes first.
+func (p *Provisioner) trim(alloc Allocation, target map[string]float64) {
+	served := make(map[string]float64)
+	for h, row := range alloc {
+		for m, n := range row {
+			e := p.Table.MustGet(h, m)
+			served[m] += float64(n) * e.QPS
+		}
+	}
+	for m, t := range target {
+		for {
+			bestH := ""
+			bestPower := 0.0
+			for h, row := range alloc {
+				n := row[m]
+				if n <= 0 {
+					continue
+				}
+				e := p.Table.MustGet(h, m)
+				if served[m]-e.QPS >= t && e.PowerW > bestPower {
+					bestH, bestPower = h, e.PowerW
+				}
+			}
+			if bestH == "" {
+				break
+			}
+			e := p.Table.MustGet(bestH, m)
+			alloc[bestH][m]--
+			if alloc[bestH][m] == 0 {
+				delete(alloc[bestH], m)
+			}
+			served[m] -= e.QPS
+		}
+	}
+}
+
+// availability copies the fleet counts.
+func (p *Provisioner) availability() map[string]int {
+	out := make(map[string]int, len(p.Fleet.Types))
+	for i, srv := range p.Fleet.Types {
+		out[srv.Type] = p.Fleet.Counts[i]
+	}
+	return out
+}
+
+// RunResult aggregates a provisioning run over a trace.
+type RunResult struct {
+	Policy Policy
+	Steps  []StepResult
+
+	PeakPowerW    float64
+	AvgPowerW     float64
+	PeakServers   int
+	AvgServers    float64
+	UnsatSteps    int
+	TotalEnergyKJ float64 // provisioned power integrated over the run
+	// Activations/Releases count per-(type, workload) server churn
+	// between consecutive intervals. The paper provisions at coarse
+	// intervals precisely to amortize the tens of seconds of workload
+	// setup each activation costs; SetupOverheadS aggregates that cost.
+	Activations, Releases int
+	SetupOverheadS        float64
+}
+
+// WorkloadSetupS is the per-activation workload setup time (§IV-C:
+// "10s of seconds" to load a model and warm a server).
+const WorkloadSetupS = 30.0
+
+// churn compares consecutive allocations and counts servers that were
+// activated (or re-targeted to a new workload) and released.
+func churn(prev, cur Allocation) (activated, released int) {
+	for h, row := range cur {
+		for m, n := range row {
+			if d := n - prev[h][m]; d > 0 {
+				activated += d
+			}
+		}
+	}
+	for h, row := range prev {
+		for m, n := range row {
+			if d := n - cur[h][m]; d > 0 {
+				released += d
+			}
+		}
+	}
+	return activated, released
+}
+
+// Run provisions every interval of the workloads' (aligned) traces.
+// With AutoR set, the over-provision rate is first estimated from the
+// traces themselves (§IV-C: R covers the historical load increase over
+// one re-provisioning interval).
+func (p *Provisioner) Run(ws []Workload) RunResult {
+	res := RunResult{Policy: p.Kind}
+	if len(ws) == 0 {
+		return res
+	}
+	if p.AutoR {
+		r := 0.0
+		for _, w := range ws {
+			if est := workload.EstimateOverProvisionR(w.Trace, w.Trace.StepS); est > r {
+				r = est
+			}
+		}
+		p.OverProvisionR = r
+	}
+	steps := ws[0].Trace.Steps()
+	stepS := ws[0].Trace.StepS
+	for _, w := range ws[1:] {
+		if w.Trace.Steps() < steps {
+			steps = w.Trace.Steps()
+		}
+	}
+	var powerSum float64
+	var serverSum float64
+	var prev Allocation
+	for i := 0; i < steps; i++ {
+		loads := make(map[string]float64, len(ws))
+		for _, w := range ws {
+			loads[w.Model] += w.Trace.LoadsQPS[i]
+		}
+		sr := p.Step(loads)
+		sr.TimeS = float64(i) * stepS
+		res.Steps = append(res.Steps, sr)
+		if prev != nil {
+			a, rl := churn(prev, sr.Alloc)
+			res.Activations += a
+			res.Releases += rl
+		}
+		prev = sr.Alloc
+		powerSum += sr.ProvisionedPowerW
+		serverSum += float64(sr.ActiveServers)
+		if sr.ProvisionedPowerW > res.PeakPowerW {
+			res.PeakPowerW = sr.ProvisionedPowerW
+		}
+		if sr.ActiveServers > res.PeakServers {
+			res.PeakServers = sr.ActiveServers
+		}
+		if !sr.Satisfied {
+			res.UnsatSteps++
+		}
+		res.TotalEnergyKJ += sr.ProvisionedPowerW * stepS / 1e3
+	}
+	if steps > 0 {
+		res.AvgPowerW = powerSum / float64(steps)
+		res.AvgServers = serverSum / float64(steps)
+	}
+	res.SetupOverheadS = float64(res.Activations) * WorkloadSetupS
+	return res
+}
+
+// Saving reports the relative peak and average provisioned-power savings
+// of run b over run a: (a-b)/a.
+func Saving(a, b RunResult) (peakFrac, avgFrac float64) {
+	if a.PeakPowerW > 0 {
+		peakFrac = (a.PeakPowerW - b.PeakPowerW) / a.PeakPowerW
+	}
+	if a.AvgPowerW > 0 {
+		avgFrac = (a.AvgPowerW - b.AvgPowerW) / a.AvgPowerW
+	}
+	return peakFrac, avgFrac
+}
+
+// CapacitySaving reports the relative peak and average activated-server
+// savings of run b over run a.
+func CapacitySaving(a, b RunResult) (peakFrac, avgFrac float64) {
+	if a.PeakServers > 0 {
+		peakFrac = float64(a.PeakServers-b.PeakServers) / float64(a.PeakServers)
+	}
+	if a.AvgServers > 0 {
+		avgFrac = (a.AvgServers - b.AvgServers) / a.AvgServers
+	}
+	return peakFrac, avgFrac
+}

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"testing"
+
+	"hercules/internal/hw"
+	"hercules/internal/profiler"
+	"hercules/internal/workload"
+)
+
+// fig8Table builds a synthetic efficiency table shaped like the paper's
+// Fig. 8(a): two workloads (RMC1, RMC2) on CPU (T2), CPU+NMP (T3) and
+// CPU+GPU (T7). CPU+NMP is the most energy-efficient for both, but RMC2
+// gains more from it (2.04× vs 1.75×) — the contention the priority and
+// LP schedulers must arbitrate.
+func fig8Table() *profiler.Table {
+	t := &profiler.Table{}
+	set := func(srv, m string, qps, w float64) {
+		t.Set(profiler.Entry{Model: m, Server: srv, QPS: qps, PowerW: w, QPSPerWatt: qps / w})
+	}
+	// RMC1: base efficiency 4 QPS/W on CPU; ×1.75 on NMP; ×1.59 on GPU.
+	set("T2", "DLRM-RMC1", 640, 160)
+	set("T3", "DLRM-RMC1", 1180, 168)
+	set("T7", "DLRM-RMC1", 2900, 455)
+	// RMC2: base 2.4 QPS/W; ×2.04 on NMP; ×1.98 on GPU.
+	set("T2", "DLRM-RMC2", 390, 162)
+	set("T3", "DLRM-RMC2", 830, 170)
+	set("T7", "DLRM-RMC2", 2150, 452)
+	return t
+}
+
+func fig8Fleet() hw.Fleet {
+	return hw.Fleet{
+		Types:  []hw.Server{hw.ServerType("T2"), hw.ServerType("T3"), hw.ServerType("T7")},
+		Counts: []int{70, 15, 5},
+	}
+}
+
+func loads(rmc1, rmc2 float64) map[string]float64 {
+	return map[string]float64{"DLRM-RMC1": rmc1, "DLRM-RMC2": rmc2}
+}
+
+func TestAllPoliciesSatisfyFeasibleLoads(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	for _, kind := range []Policy{NH, Greedy, Priority, Hercules} {
+		p := NewProvisioner(fleet, table, kind, 1)
+		sr := p.Step(loads(15000, 10000))
+		if !sr.Satisfied {
+			t.Errorf("%v: feasible load unsatisfied (served %v of %v)",
+				kind, sr.ServedQPS, sr.TargetQPS)
+		}
+		if sr.ActiveServers <= 0 || sr.ProvisionedPowerW <= 0 {
+			t.Errorf("%v: empty allocation", kind)
+		}
+	}
+}
+
+func TestAllocationRespectsAvailability(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	for _, kind := range []Policy{NH, Greedy, Priority, Hercules} {
+		p := NewProvisioner(fleet, table, kind, 2)
+		sr := p.Step(loads(40000, 30000)) // near fleet limits
+		for i, srv := range fleet.Types {
+			if got := sr.Alloc.CountFor(srv.Type); got > fleet.Counts[i] {
+				t.Errorf("%v: allocated %d of %s, only %d exist", kind, got, srv.Type, fleet.Counts[i])
+			}
+		}
+	}
+}
+
+func TestGreedyBeatsNH(t *testing.T) {
+	// Fig. 8(c): the heterogeneity-aware greedy scheduler saves
+	// provisioned power over NH.
+	table := fig8Table()
+	fleet := fig8Fleet()
+	l := loads(20000, 15000)
+	var nhW, grW float64
+	for seed := int64(0); seed < 5; seed++ {
+		nhW += NewProvisioner(fleet, table, NH, seed).Step(l).ProvisionedPowerW
+		grW += NewProvisioner(fleet, table, Greedy, seed).Step(l).ProvisionedPowerW
+	}
+	if grW >= nhW {
+		t.Fatalf("greedy (%.0f W) must save power over NH (%.0f W)", grW/5, nhW/5)
+	}
+}
+
+func TestHerculesNoWorseThanGreedy(t *testing.T) {
+	// §VI-C: the LP provisioner dominates the greedy policy.
+	table := fig8Table()
+	fleet := fig8Fleet()
+	for _, l := range []map[string]float64{
+		loads(20000, 15000), loads(35000, 25000), loads(5000, 30000),
+	} {
+		greedyW := NewProvisioner(fleet, table, Greedy, 3).Step(l).ProvisionedPowerW
+		hercW := NewProvisioner(fleet, table, Hercules, 3).Step(l).ProvisionedPowerW
+		if hercW > greedyW+1e-6 {
+			t.Errorf("hercules (%.0f W) worse than greedy (%.0f W) at %v", hercW, greedyW, l)
+		}
+	}
+}
+
+func TestPriorityArbitratesContention(t *testing.T) {
+	// Fig. 8: RMC2 gains more from NMP; under contention the priority
+	// scheduler should give T3 to RMC2 first and save power vs expected
+	// random greedy arbitration.
+	table := fig8Table()
+	fleet := fig8Fleet()
+	l := loads(20000, 20000) // both want the 15 T3 servers
+	pr := NewProvisioner(fleet, table, Priority, 4).Step(l)
+	rmc2OnT3 := pr.Alloc["T3"]["DLRM-RMC2"]
+	rmc1OnT3 := pr.Alloc["T3"]["DLRM-RMC1"]
+	if rmc2OnT3 <= rmc1OnT3 {
+		t.Errorf("priority must favor RMC2 on T3: rmc2=%d rmc1=%d", rmc2OnT3, rmc1OnT3)
+	}
+	var grW float64
+	const trials = 7
+	for seed := int64(0); seed < trials; seed++ {
+		grW += NewProvisioner(fleet, table, Greedy, seed).Step(l).ProvisionedPowerW
+	}
+	if pr.ProvisionedPowerW > grW/trials*1.01 {
+		t.Errorf("priority (%.0f W) should not exceed mean greedy (%.0f W)",
+			pr.ProvisionedPowerW, grW/trials)
+	}
+}
+
+func TestInfeasibleLoadBestEffort(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	for _, kind := range []Policy{NH, Greedy, Priority, Hercules} {
+		p := NewProvisioner(fleet, table, kind, 5)
+		sr := p.Step(loads(500000, 500000)) // far beyond fleet capacity
+		if sr.Satisfied {
+			t.Errorf("%v: impossible load reported satisfied", kind)
+		}
+		// Best effort must activate essentially the whole fleet.
+		if sr.ActiveServers < fleet.Total()*9/10 {
+			t.Errorf("%v: only %d of %d servers activated under overload",
+				kind, sr.ActiveServers, fleet.Total())
+		}
+	}
+}
+
+func TestZeroLoad(t *testing.T) {
+	table := fig8Table()
+	p := NewProvisioner(fig8Fleet(), table, Hercules, 6)
+	sr := p.Step(loads(0, 0))
+	if sr.ActiveServers != 0 || sr.ProvisionedPowerW != 0 {
+		t.Fatalf("zero load must activate nothing: %+v", sr)
+	}
+	if !sr.Satisfied {
+		t.Fatal("zero load is trivially satisfied")
+	}
+}
+
+func TestRunOverDiurnalTrace(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	ws := []Workload{
+		{Model: "DLRM-RMC1", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc1", 20000, 1, 7))},
+		{Model: "DLRM-RMC2", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc2", 15000, 1, 8))},
+	}
+	res := NewProvisioner(fleet, table, Hercules, 9).Run(ws)
+	if len(res.Steps) != 96 {
+		t.Fatalf("steps = %d, want 96", len(res.Steps))
+	}
+	if res.PeakPowerW <= res.AvgPowerW {
+		t.Fatal("peak power must exceed average under diurnal load")
+	}
+	if res.PeakServers <= int(res.AvgServers) {
+		t.Fatal("peak servers must exceed average")
+	}
+	if res.UnsatSteps != 0 {
+		t.Fatalf("%d unsatisfied steps on a feasible day", res.UnsatSteps)
+	}
+	if res.TotalEnergyKJ <= 0 {
+		t.Fatal("energy must integrate")
+	}
+	// Dynamic provisioning must track the valley: off-peak power well
+	// below peak (the whole point of dynamic activation).
+	if res.AvgPowerW > 0.9*res.PeakPowerW {
+		t.Errorf("avg %.0f W too close to peak %.0f W — not tracking the diurnal valley",
+			res.AvgPowerW, res.PeakPowerW)
+	}
+}
+
+func TestRunEmptyWorkloads(t *testing.T) {
+	res := NewProvisioner(fig8Fleet(), fig8Table(), Greedy, 10).Run(nil)
+	if len(res.Steps) != 0 {
+		t.Fatal("empty workload set must produce no steps")
+	}
+}
+
+func TestSavingHelpers(t *testing.T) {
+	a := RunResult{PeakPowerW: 100, AvgPowerW: 50, PeakServers: 40, AvgServers: 20}
+	b := RunResult{PeakPowerW: 60, AvgPowerW: 45, PeakServers: 30, AvgServers: 18}
+	pk, avg := Saving(a, b)
+	if pk != 0.4 || avg != 0.1 {
+		t.Fatalf("power saving = %v, %v", pk, avg)
+	}
+	pk, avg = CapacitySaving(a, b)
+	if pk != 0.25 || avg != 0.1 {
+		t.Fatalf("capacity saving = %v, %v", pk, avg)
+	}
+	if pk, avg = Saving(RunResult{}, b); pk != 0 || avg != 0 {
+		t.Fatal("zero baseline must yield zero saving")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{NH, Greedy, Priority, Hercules} {
+		if p.String() == "" {
+			t.Error("policy must render")
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestHerculesPrefersEfficientServersAtValley(t *testing.T) {
+	// At low load the LP should pick the most power-efficient servers
+	// only, not scatter across types.
+	table := fig8Table()
+	p := NewProvisioner(fig8Fleet(), table, Hercules, 11)
+	sr := p.Step(loads(2000, 1500))
+	// T3 (NMP) is the cheapest power-per-QPS for both workloads; with 15
+	// available it should dominate the small allocation.
+	t3 := sr.Alloc.CountFor("T3")
+	if t3 < sr.ActiveServers/2 {
+		t.Errorf("valley allocation should concentrate on T3: %+v", sr.Alloc)
+	}
+}
+
+func TestStepDeterministicForLPAndPriority(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	l := loads(18000, 9000)
+	a := NewProvisioner(fleet, table, Hercules, 1).Step(l)
+	b := NewProvisioner(fleet, table, Hercules, 2).Step(l) // different seed
+	if a.ProvisionedPowerW != b.ProvisionedPowerW {
+		t.Fatal("LP provisioning must not depend on the seed")
+	}
+	c := NewProvisioner(fleet, table, Priority, 1).Step(l)
+	d := NewProvisioner(fleet, table, Priority, 9).Step(l)
+	if c.ProvisionedPowerW != d.ProvisionedPowerW {
+		t.Fatal("priority provisioning must not depend on the seed")
+	}
+}
+
+func TestAutoROverridesDefault(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	ws := []Workload{
+		{Model: "DLRM-RMC1", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc1", 20000, 1, 30))},
+		{Model: "DLRM-RMC2", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc2", 15000, 1, 31))},
+	}
+	p := NewProvisioner(fleet, table, Hercules, 32)
+	p.AutoR = true
+	p.OverProvisionR = 99 // must be replaced by the estimate
+	res := p.Run(ws)
+	if p.OverProvisionR <= 0 || p.OverProvisionR >= 1 {
+		t.Fatalf("AutoR produced implausible R = %v", p.OverProvisionR)
+	}
+	if res.UnsatSteps != 0 {
+		t.Fatalf("auto-R run left %d steps unsatisfied", res.UnsatSteps)
+	}
+}
+
+func TestChurnAccounting(t *testing.T) {
+	a := Allocation{}
+	a.add("T2", "A", 5)
+	a.add("T3", "A", 2)
+	b := Allocation{}
+	b.add("T2", "A", 3) // released 2
+	b.add("T3", "A", 4) // activated 2
+	b.add("T7", "B", 1) // activated 1
+	act, rel := churn(a, b)
+	if act != 3 || rel != 2 {
+		t.Fatalf("churn = (%d, %d), want (3, 2)", act, rel)
+	}
+}
+
+func TestRunTracksChurn(t *testing.T) {
+	table := fig8Table()
+	fleet := fig8Fleet()
+	ws := []Workload{
+		{Model: "DLRM-RMC1", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc1", 20000, 1, 40))},
+		{Model: "DLRM-RMC2", Trace: workload.Synthesize(workload.DefaultDiurnal("rmc2", 15000, 1, 41))},
+	}
+	res := NewProvisioner(fleet, table, Hercules, 42).Run(ws)
+	if res.Activations <= 0 || res.Releases <= 0 {
+		t.Fatalf("diurnal load must churn servers: %d/%d", res.Activations, res.Releases)
+	}
+	if res.SetupOverheadS != float64(res.Activations)*WorkloadSetupS {
+		t.Fatal("setup overhead must integrate activations")
+	}
+	// Across a full diurnal day, servers activated on the ramp up are
+	// released on the way down: churn magnitudes should be comparable.
+	ratio := float64(res.Activations) / float64(res.Releases)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("activation/release ratio %.2f implausible", ratio)
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hercules/internal/cluster"
+	"hercules/internal/costmodel"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/partition"
+	"hercules/internal/sched"
+	"hercules/internal/sim"
+)
+
+// AblationContentionResult probes DESIGN.md ablation #1: with memory
+// contention disabled, co-location scales freely and the Fig. 4
+// fat-thread advantage disappears.
+type AblationContentionResult struct {
+	With20x1, With10x2       float64 // QPS with contention modelled
+	Without20x1, Without10x2 float64 // QPS with contention disabled
+}
+
+// AblationNoContention runs DLRM-RMC1 on T2 at a tight SLA with and
+// without the contention terms.
+func AblationNoContention(seed int64) AblationContentionResult {
+	m := model.DLRMRMC1(model.Prod)
+	run := func(params costmodel.Params, threads, workers int) float64 {
+		s := sim.New(hw.ServerType("T2"), m)
+		s.Params = params
+		cap0, _ := bestBatchCapacity(s, func(b int) sim.Config {
+			return sim.Config{Place: sim.PlaceCPUModel, Threads: threads, OpWorkers: workers, Batch: b}
+		}, 15, seed)
+		return cap0.QPS
+	}
+	with := costmodel.DefaultParams()
+	without := with
+	without.GatherKappa = 0
+	without.InterferenceKappa = 0
+	return AblationContentionResult{
+		With20x1:    run(with, 20, 1),
+		With10x2:    run(with, 10, 2),
+		Without20x1: run(without, 20, 1),
+		Without10x2: run(without, 10, 2),
+	}
+}
+
+// Render implements Renderer.
+func (r AblationContentionResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Ablation: co-location contention model (DLRM-RMC1, T2, 15 ms SLA)")
+	fmt.Fprintf(&sb, "with contention:    20x1=%.0f QPS, 10x2=%.0f QPS (10x2 gain %.2fx)\n",
+		r.With20x1, r.With10x2, r.With10x2/r.With20x1)
+	fmt.Fprintf(&sb, "without contention: 20x1=%.0f QPS, 10x2=%.0f QPS (10x2 gain %.2fx)\n",
+		r.Without20x1, r.Without10x2, r.Without10x2/r.Without20x1)
+	return sb.String()
+}
+
+// AblationSearchResult probes ablation #2: gradient search vs exhaustive
+// sweep (optimality and evaluation count).
+type AblationSearchResult struct {
+	GradientQPS, ExhaustiveQPS     float64
+	GradientEvals, ExhaustiveEvals int
+}
+
+// AblationSearchVsExhaustive compares the two on DLRM-RMC1/T2.
+func AblationSearchVsExhaustive(seed int64) AblationSearchResult {
+	m := model.DLRMRMC1(model.Prod)
+	mk := func() *sched.Searcher {
+		return sched.NewSearcher(sim.New(hw.ServerType("T2"), m),
+			sched.Objective{SLAMS: m.SLATargetMS, Seed: seed})
+	}
+	g := mk()
+	grad := g.SearchCPUModel(false)
+	e := mk()
+	exh := e.ExhaustiveCPUModel(false)
+	return AblationSearchResult{
+		GradientQPS:     grad.QPS(),
+		ExhaustiveQPS:   exh.QPS(),
+		GradientEvals:   g.Evals,
+		ExhaustiveEvals: e.Evals,
+	}
+}
+
+// Render implements Renderer.
+func (r AblationSearchResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Ablation: gradient search vs exhaustive sweep (DLRM-RMC1, T2)")
+	fmt.Fprintf(&sb, "gradient:   %.0f QPS in %d evals\n", r.GradientQPS, r.GradientEvals)
+	fmt.Fprintf(&sb, "exhaustive: %.0f QPS in %d evals\n", r.ExhaustiveQPS, r.ExhaustiveEvals)
+	fmt.Fprintf(&sb, "optimality: %.1f%% with %.1fx fewer evaluations\n",
+		r.GradientQPS/r.ExhaustiveQPS*100, float64(r.ExhaustiveEvals)/float64(r.GradientEvals))
+	return sb.String()
+}
+
+// AblationHotPartitionResult probes ablation #4: accelerator serving of
+// a large pooled model with and without the locality-aware hot
+// partition.
+type AblationHotPartitionResult struct {
+	HotMass     float64 // access mass covered by the hot set
+	WithQPS     float64
+	WithoutQPS  float64 // hot partition disabled: all gathers host-side
+	PCIeWith    float64 // bytes/item
+	PCIeWithout float64
+}
+
+// AblationNoHotPartition compares DLRM-RMC2 (64 GB prod) on T7 with the
+// model-based accel placement vs the S-D placement that keeps all
+// embeddings host-side.
+func AblationNoHotPartition(seed int64) AblationHotPartitionResult {
+	m := model.DLRMRMC2(model.Prod)
+	s := sim.New(hw.ServerType("T7"), m)
+	plan := partition.BuildPlan(m, s.HW.GPU.MemoryBytes/2)
+	var mass float64
+	for _, tp := range plan.Tables {
+		mass += tp.HotMass
+	}
+	mass /= float64(len(plan.Tables))
+
+	hot := sim.Config{Place: sim.PlaceAccelModel, AccelThreads: 2, Batch: 1024,
+		SparseThreads: 8, SparseWorkers: 1, FusionLimit: 2000}
+	cold := sim.Config{Place: sim.PlaceAccelSD, AccelThreads: 2, Batch: 1024,
+		SparseThreads: 8, SparseWorkers: 1, FusionLimit: 2000}
+	hc, _ := s.FindCapacity(hot, m.SLATargetMS, seed)
+	cc, _ := s.FindCapacity(cold, m.SLATargetMS, seed)
+	return AblationHotPartitionResult{
+		HotMass:     mass,
+		WithQPS:     hc.QPS,
+		WithoutQPS:  cc.QPS,
+		PCIeWith:    partition.ModelBasedAccel(plan).PCIeBytesPerItem,
+		PCIeWithout: partition.SDAccel(plan).PCIeBytesPerItem,
+	}
+}
+
+// Render implements Renderer.
+func (r AblationHotPartitionResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Ablation: locality-aware hot-embedding partition (DLRM-RMC2, T7)")
+	fmt.Fprintf(&sb, "hot set covers %.0f%% of accesses\n", r.HotMass*100)
+	fmt.Fprintf(&sb, "with hot partition (accel-model): %.0f QPS, %.0f PCIe B/item\n",
+		r.WithQPS, r.PCIeWith)
+	fmt.Fprintf(&sb, "without (host-side sparse, accel-sd): %.0f QPS, %.0f PCIe B/item\n",
+		r.WithoutQPS, r.PCIeWithout)
+	return sb.String()
+}
+
+// AblationLPRoundingResult probes ablation #3: LP with greedy integral
+// repair vs naive per-variable ceiling.
+type AblationLPRoundingResult struct {
+	RepairPowerKW float64
+	CeilPowerKW   float64
+	RepairServers int
+	CeilServers   int
+}
+
+// AblationLPRounding compares the two integerization strategies on the
+// Fig. 17 Day-D2 scenario at peak load.
+func AblationLPRounding(seed int64) AblationLPRoundingResult {
+	table := HerculesTable()
+	fleet := hw.AcceleratedFleet()
+	totalPeak := sizeFleetLoad(table, fleet)
+	ws := evolutionWorkloads(2, totalPeak, seed)
+
+	// Peak loads.
+	loads := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		loads[w.Model] = w.Trace.Peak()
+	}
+	prov := cluster.NewProvisioner(fleet, table, cluster.Hercules, seed)
+	repair := prov.Step(loads)
+
+	// Naive ceiling: every fractional LP variable rounds up, activating
+	// an extra server per (type, workload) pair the relaxation touched.
+	naive := cluster.NewProvisioner(fleet, table, cluster.Hercules, seed)
+	naive.NaiveCeil = true
+	ceil := naive.Step(loads)
+	return AblationLPRoundingResult{
+		RepairPowerKW: repair.ProvisionedPowerW / 1e3,
+		CeilPowerKW:   ceil.ProvisionedPowerW / 1e3,
+		RepairServers: repair.ActiveServers,
+		CeilServers:   ceil.ActiveServers,
+	}
+}
+
+// Render implements Renderer.
+func (r AblationLPRoundingResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Ablation: LP integral repair vs naive ceiling (Day-D2 peak)")
+	fmt.Fprintf(&sb, "greedy repair: %d servers, %.1f kW\n", r.RepairServers, r.RepairPowerKW)
+	fmt.Fprintf(&sb, "naive ceiling: %d servers, %.1f kW (+%.1f%%)\n",
+		r.CeilServers, r.CeilPowerKW, (r.CeilPowerKW/r.RepairPowerKW-1)*100)
+	return sb.String()
+}

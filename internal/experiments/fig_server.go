@@ -1,0 +1,577 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/sched"
+	"hercules/internal/sim"
+)
+
+// Fig4Result reproduces Fig. 4: host-side latency-bounded throughput,
+// energy efficiency and CPU utilization of DLRM-RMC1 under 20×1
+// (DeepRecSys) vs 10×2 thread/core configurations across SLA targets.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4Row is one (config, SLA) measurement.
+type Fig4Row struct {
+	Config     string
+	SLAMS      float64
+	QPS        float64
+	QPSPerWatt float64
+	CPUUtil    float64
+}
+
+// Fig4HostParallelism runs the experiment on server T2.
+func Fig4HostParallelism(seed int64) Fig4Result {
+	m := model.DLRMRMC1(model.Prod)
+	s := sim.New(hw.ServerType("T2"), m)
+	configs := []struct {
+		name               string
+		threads, opWorkers int
+	}{
+		{"20x1 (DeepRecSys)", 20, 1},
+		{"10x2", 10, 2},
+	}
+	var res Fig4Result
+	for _, sla := range []float64{5, 10, 15, 20, 30, 50} {
+		for _, c := range configs {
+			cap0, _ := bestBatchCapacity(s, func(b int) sim.Config {
+				return sim.Config{Place: sim.PlaceCPUModel, Threads: c.threads,
+					OpWorkers: c.opWorkers, Batch: b}
+			}, sla, seed)
+			res.Rows = append(res.Rows, Fig4Row{
+				Config:     c.name,
+				SLAMS:      sla,
+				QPS:        cap0.QPS,
+				QPSPerWatt: cap0.At.QPSPerWatt,
+				CPUUtil:    cap0.At.CPUUtil,
+			})
+		}
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig4Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 4: DLRM-RMC1 on T2 — 20x1 vs 10x2 across SLA targets")
+	sb.WriteString("config\tsla_ms\tQPS\tQPS/W\tcpu_util\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\t%.0f\t%.0f\t%.2f\t%.2f\n",
+			row.Config, row.SLAMS, row.QPS, row.QPSPerWatt, row.CPUUtil)
+	}
+	return sb.String()
+}
+
+// Fig6Result reproduces Fig. 6: accelerator-side scheduling policies —
+// no co-location/no fusion (DeepRecSys), co-location only (Baymax), and
+// co-location + query fusion (Hercules's contrived combination).
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6Row is one (model, policy, SLA) point.
+type Fig6Row struct {
+	Model      string
+	Policy     string
+	SLAMS      float64
+	QPS        float64
+	QPSPerWatt float64
+	CoLocated  int
+	Fusion     int
+}
+
+// Fig6AcceleratorPolicies runs the three policies on T7 with the small
+// model variants (§III-B: model-based scheduling on a 16 GB V100).
+func Fig6AcceleratorPolicies(seed int64) Fig6Result {
+	var res Fig6Result
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range []string{"DLRM-RMC3", "MT-WnD", "DIN"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			m, err := model.ByName(name, model.Small)
+			if err != nil {
+				panic(err)
+			}
+			s := sim.New(hw.ServerType("T7"), m)
+			for _, sla := range []float64{20, 50, 100} {
+				rows := fig6Policies(s, name, sla, seed)
+				mu.Lock()
+				res.Rows = append(res.Rows, rows...)
+				mu.Unlock()
+			}
+		}(name)
+	}
+	wg.Wait()
+	return res
+}
+
+func fig6Policies(s *sim.Server, name string, sla float64, seed int64) []Fig6Row {
+	var rows []Fig6Row
+	record := func(policy string, cfg sim.Config, cap0 sim.Capacity) {
+		rows = append(rows, Fig6Row{
+			Model: name, Policy: policy, SLAMS: sla,
+			QPS: cap0.QPS, QPSPerWatt: cap0.At.QPSPerWatt,
+			CoLocated: cfg.AccelThreads, Fusion: cfg.FusionLimit,
+		})
+	}
+	// DeepRecSys: single thread, no fusion.
+	drs := sim.Config{Place: sim.PlaceAccelModel, AccelThreads: 1, Batch: 1024,
+		SparseThreads: 1, SparseWorkers: 1}
+	c0, _ := s.FindCapacity(drs, sla, seed)
+	record("DeepRecSys", drs, c0)
+
+	// Baymax: co-location sweep, no fusion.
+	var bmBest sim.Capacity
+	var bmCfg sim.Config
+	hint := c0.QPS
+	for mcl := 1; mcl <= 6; mcl++ {
+		cfg := drs
+		cfg.AccelThreads = mcl
+		c, _ := s.FindCapacityHint(cfg, sla, seed, hint)
+		if c.QPS > bmBest.QPS {
+			bmBest, bmCfg = c, cfg
+		}
+		if c.QPS > 0 {
+			hint = c.QPS
+		}
+	}
+	record("Baymax", bmCfg, bmBest)
+
+	// Co-location + fusion: sweep both.
+	var fuBest sim.Capacity
+	var fuCfg sim.Config
+	for mcl := 1; mcl <= 6; mcl += 1 {
+		for _, fl := range []int{1000, 2000, 4000, 6000} {
+			cfg := drs
+			cfg.AccelThreads = mcl
+			cfg.FusionLimit = fl
+			c, _ := s.FindCapacityHint(cfg, sla, seed, hint)
+			if c.QPS > fuBest.QPS {
+				fuBest, fuCfg = c, cfg
+			}
+			if c.QPS > 0 {
+				hint = c.QPS
+			}
+		}
+	}
+	record("CoLoc+Fusion", fuCfg, fuBest)
+	return rows
+}
+
+// Render implements Renderer.
+func (r Fig6Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 6: accelerator task-scheduling policies on T7 (small models)")
+	sb.WriteString("model\tpolicy\tsla_ms\tQPS\tQPS/W\tco_located\tfusion\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\t%s\t%.0f\t%.0f\t%.2f\t%d\t%d\n",
+			row.Model, row.Policy, row.SLAMS, row.QPS, row.QPSPerWatt,
+			row.CoLocated, row.Fusion)
+	}
+	return sb.String()
+}
+
+// Fig7Result reproduces Fig. 7: latency breakdown (queuing, data
+// loading, inference) and GPU utilization vs the query-fusion limit.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7Row is one (model, fusion limit) measurement at fixed load.
+type Fig7Row struct {
+	Model       string
+	FusionLimit int // 0 = no fusion
+	QueueFrac   float64
+	LoadFrac    float64
+	ComputeFrac float64
+	GPUUtil     float64
+	TailMS      float64
+}
+
+// Fig7FusionBreakdown sweeps the fusion limit for RMC3/MT-WnD/DIN with a
+// single inference thread on one V100, at 70% of the no-fusion capacity.
+func Fig7FusionBreakdown(seed int64) Fig7Result {
+	var res Fig7Result
+	for _, name := range []string{"DLRM-RMC3", "MT-WnD", "DIN"} {
+		m, err := model.ByName(name, model.Small)
+		if err != nil {
+			panic(err)
+		}
+		s := sim.New(hw.ServerType("T7"), m)
+		base := sim.Config{Place: sim.PlaceAccelModel, AccelThreads: 1, Batch: 1024,
+			SparseThreads: 1, SparseWorkers: 1}
+		cap0, _ := s.FindCapacity(base, m.SLATargetMS, seed)
+		rate := cap0.QPS * 0.7
+		if rate < 8 {
+			rate = 8
+		}
+		for _, fl := range []int{0, 500, 1000, 2000, 4000, 6000} {
+			cfg := base
+			cfg.FusionLimit = fl
+			r, err := s.Evaluate(cfg, rate, seed)
+			if err != nil {
+				continue
+			}
+			total := r.QueueMS + r.LoadMS + r.ComputeMS
+			if total <= 0 {
+				total = 1
+			}
+			res.Rows = append(res.Rows, Fig7Row{
+				Model:       name,
+				FusionLimit: fl,
+				QueueFrac:   r.QueueMS / total,
+				LoadFrac:    r.LoadMS / total,
+				ComputeFrac: r.ComputeMS / total,
+				GPUUtil:     r.GPUUtil,
+				TailMS:      r.TailMS,
+			})
+		}
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig7Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 7: latency breakdown and GPU utilization vs fusion limit (T7)")
+	sb.WriteString("model\tfusion\tqueue%\tload%\tinfer%\tgpu_util\ttail_ms\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.1f\n",
+			row.Model, row.FusionLimit, row.QueueFrac*100, row.LoadFrac*100,
+			row.ComputeFrac*100, row.GPUUtil, row.TailMS)
+	}
+	return sb.String()
+}
+
+// Fig11Result reproduces Fig. 11: the convex Psp surfaces of model-based
+// scheduling on CPU (a–c) and accelerator (d–f), plus the gradient
+// search path overlay.
+type Fig11Result struct {
+	CPURows  []Fig11Row
+	GPURows  []Fig11Row
+	PathCPU  []string // visited configs in order (search-path overlay)
+	PathEval int      // configurations measured by the gradient search
+	GridEval int      // configurations in the full surface sweep
+}
+
+// Fig11Row is one grid point of the parallelism surface.
+type Fig11Row struct {
+	Engine    string // "cpu" | "gpu"
+	Threads   int    // co-located tasks
+	OpWorkers int    // CPU only
+	Batch     int    // batch size / fusion limit
+	QPS       float64
+	TailMS    float64
+	PowerW    float64
+}
+
+// Fig11ParallelismSpace sweeps the DLRM-RMC1 surfaces on T2 and T7.
+func Fig11ParallelismSpace(seed int64) Fig11Result {
+	m := model.DLRMRMC1(model.Prod)
+	var res Fig11Result
+
+	// CPU surface: o ∈ {1,2,4}, m sweep, batch sweep.
+	sCPU := sim.New(hw.ServerType("T2"), m)
+	sla := m.SLATargetMS
+	for _, o := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 2, 4, 8, 12, 16, 20} {
+			if threads*o > 20 {
+				continue
+			}
+			hint := 0.0
+			for _, b := range []int{32, 128, 512} {
+				cfg := sim.Config{Place: sim.PlaceCPUModel, Threads: threads, OpWorkers: o, Batch: b}
+				c, err := sCPU.FindCapacityHint(cfg, sla, seed, hint)
+				if err != nil {
+					continue
+				}
+				res.GridEval++
+				if c.QPS > 0 {
+					hint = c.QPS
+				}
+				res.CPURows = append(res.CPURows, Fig11Row{
+					Engine: "cpu", Threads: threads, OpWorkers: o, Batch: b,
+					QPS: c.QPS, TailMS: c.At.TailMS, PowerW: c.At.ProvisionedW,
+				})
+			}
+		}
+	}
+
+	// GPU surface: co-location × fusion (small variant fits the V100).
+	mS := model.DLRMRMC1(model.Small)
+	sGPU := sim.New(hw.ServerType("T7"), mS)
+	for _, threads := range []int{1, 2, 3, 4} {
+		hint := 0.0
+		for _, fl := range []int{500, 1000, 2000, 4000, 6000} {
+			cfg := sim.Config{Place: sim.PlaceAccelModel, AccelThreads: threads,
+				Batch: 1024, SparseThreads: 1, SparseWorkers: 1, FusionLimit: fl}
+			c, err := sGPU.FindCapacityHint(cfg, sla, seed, hint)
+			if err != nil {
+				continue
+			}
+			res.GridEval++
+			if c.QPS > 0 {
+				hint = c.QPS
+			}
+			res.GPURows = append(res.GPURows, Fig11Row{
+				Engine: "gpu", Threads: threads, Batch: fl,
+				QPS: c.QPS, TailMS: c.At.TailMS, PowerW: c.At.ProvisionedW,
+			})
+		}
+	}
+
+	// Gradient search path (Fig. 11's red-dot overlay).
+	sr := sched.NewSearcher(sCPU, sched.Objective{SLAMS: sla, Seed: seed})
+	sr.CollectTrace = true
+	sr.SearchCPUModel(false)
+	res.PathEval = sr.Evals
+	for _, e := range sr.Trace {
+		res.PathCPU = append(res.PathCPU,
+			fmt.Sprintf("%dx%d@%d->%.0f", e.Cfg.Threads, e.Cfg.OpWorkers, e.Cfg.Batch, e.QPS()))
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig11Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 11: Psp(M+D+O) surfaces for DLRM-RMC1 (CPU T2, GPU T7)")
+	sb.WriteString("engine\tthreads\tworkers\tbatch/fusion\tQPS\ttail_ms\tpower_W\n")
+	for _, rows := range [][]Fig11Row{r.CPURows, r.GPURows} {
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "%s\t%d\t%d\t%d\t%.0f\t%.1f\t%.0f\n",
+				row.Engine, row.Threads, row.OpWorkers, row.Batch, row.QPS, row.TailMS, row.PowerW)
+		}
+	}
+	fmt.Fprintf(&sb, "gradient path (%d evals vs %d grid points): %s\n",
+		r.PathEval, r.GridEval, strings.Join(r.PathCPU, " "))
+	return sb.String()
+}
+
+// Fig12Result reproduces Fig. 12: the S-D pipeline balance search on CPU
+// and CPU-accelerator platforms.
+type Fig12Result struct {
+	CPURows   []Fig12Row
+	AccelRows []Fig12Row
+}
+
+// Fig12Row is one pipeline-balance point.
+type Fig12Row struct {
+	Platform      string
+	SparseThreads int
+	SparseWorkers int
+	DenseThreads  int // CPU dense threads or GPU co-located threads
+	QPS           float64
+	TailMS        float64
+}
+
+// Fig12SDPipeline sweeps the sparse/dense thread split.
+func Fig12SDPipeline(seed int64) Fig12Result {
+	var res Fig12Result
+	m := model.DLRMRMC1(model.Prod)
+	sCPU := sim.New(hw.ServerType("T2"), m)
+	// CPU: sparse threads × 2 cores; dense threads take the rest.
+	hint := 0.0
+	for st := 1; st <= 9; st++ {
+		dense := 20 - st*2
+		if dense < 1 {
+			break
+		}
+		cfg := sim.Config{Place: sim.PlaceCPUSD, SparseThreads: st, SparseWorkers: 2,
+			Threads: dense, OpWorkers: 1, Batch: 256}
+		c, err := sCPU.FindCapacityHint(cfg, m.SLATargetMS, seed, hint)
+		if err != nil {
+			continue
+		}
+		if c.QPS > 0 {
+			hint = c.QPS
+		}
+		res.CPURows = append(res.CPURows, Fig12Row{
+			Platform: "cpu", SparseThreads: st, SparseWorkers: 2, DenseThreads: dense,
+			QPS: c.QPS, TailMS: c.At.TailMS,
+		})
+	}
+	// CPU-accelerator: host SparseNet threads bound the GPU DenseNet.
+	sGPU := sim.New(hw.ServerType("T7"), m)
+	hint = 0
+	for _, st := range []int{1, 2, 4, 8, 12, 16, 20} {
+		cfg := sim.Config{Place: sim.PlaceAccelSD, SparseThreads: st, SparseWorkers: 1,
+			AccelThreads: 2, Batch: 1024, FusionLimit: 2000}
+		c, err := sGPU.FindCapacityHint(cfg, m.SLATargetMS, seed, hint)
+		if err != nil {
+			continue
+		}
+		if c.QPS > 0 {
+			hint = c.QPS
+		}
+		res.AccelRows = append(res.AccelRows, Fig12Row{
+			Platform: "cpu-accel", SparseThreads: st, SparseWorkers: 1, DenseThreads: 2,
+			QPS: c.QPS, TailMS: c.At.TailMS,
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig12Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 12: S-D pipeline balance (DLRM-RMC1)")
+	sb.WriteString("platform\tsparse\tworkers\tdense\tQPS\ttail_ms\n")
+	for _, rows := range [][]Fig12Row{r.CPURows, r.AccelRows} {
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "%s\t%d\t%d\t%d\t%.0f\t%.1f\n",
+				row.Platform, row.SparseThreads, row.SparseWorkers, row.DenseThreads,
+				row.QPS, row.TailMS)
+		}
+	}
+	return sb.String()
+}
+
+// Fig14Result reproduces Fig. 14: baseline vs Hercules task scheduler
+// across six models, four server types and SLA scales.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14Row is one (model, server, SLA) comparison.
+type Fig14Row struct {
+	Model       string
+	Server      string
+	SLAMS       float64
+	BaselineQPS float64
+	HerculesQPS float64
+	Speedup     float64
+}
+
+// Fig14Servers lists the server types in the paper's figure.
+var Fig14Servers = []string{"T2", "T3", "T7", "T8"}
+
+// Fig14TaskSchedulerSpeedup runs the comparison. slaScales multiplies
+// each model's default SLA (the paper sweeps the SLA axis).
+func Fig14TaskSchedulerSpeedup(seed int64, slaScales []float64) Fig14Result {
+	if len(slaScales) == 0 {
+		slaScales = []float64{0.5, 1, 2}
+	}
+	type job struct {
+		m     *model.Model
+		srv   string
+		scale float64
+	}
+	var jobs []job
+	for _, m := range model.Zoo(model.Prod) {
+		for _, srv := range Fig14Servers {
+			for _, sc := range slaScales {
+				jobs = append(jobs, job{m, srv, sc})
+			}
+		}
+	}
+	rows := make([]Fig14Row, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := sim.New(hw.ServerType(j.srv), j.m)
+			obj := sched.Objective{SLAMS: j.m.SLATargetMS * j.scale, Seed: seed}
+			sr := sched.NewSearcher(s, obj)
+			base := sr.SearchBaseline()
+			herc := sr.SearchHercules()
+			row := Fig14Row{
+				Model: j.m.Name, Server: j.srv, SLAMS: obj.SLAMS,
+				BaselineQPS: base.QPS(), HerculesQPS: herc.QPS(),
+			}
+			if base.QPS() > 0 {
+				row.Speedup = herc.QPS() / base.QPS()
+			}
+			rows[i] = row
+		}(i, j)
+	}
+	wg.Wait()
+	return Fig14Result{Rows: rows}
+}
+
+// PairRange summarizes speedups for one (model, server) pair across
+// the SLA sweep — the "1.28-1.82x" style annotations of Fig. 14.
+type PairRange struct {
+	Model, Server string
+	Min, Max      float64
+}
+
+// PairRanges groups rows by (model, server).
+func (r Fig14Result) PairRanges() []PairRange {
+	idx := map[[2]string]int{}
+	var out []PairRange
+	for _, row := range r.Rows {
+		if row.Speedup <= 0 {
+			continue
+		}
+		k := [2]string{row.Model, row.Server}
+		i, ok := idx[k]
+		if !ok {
+			idx[k] = len(out)
+			out = append(out, PairRange{Model: row.Model, Server: row.Server,
+				Min: row.Speedup, Max: row.Speedup})
+			continue
+		}
+		if row.Speedup < out[i].Min {
+			out[i].Min = row.Speedup
+		}
+		if row.Speedup > out[i].Max {
+			out[i].Max = row.Speedup
+		}
+	}
+	return out
+}
+
+// MaxSpeedup returns the largest Hercules/baseline speedup observed.
+func (r Fig14Result) MaxSpeedup() (Fig14Row, float64) {
+	var best Fig14Row
+	for _, row := range r.Rows {
+		if row.Speedup > best.Speedup {
+			best = row
+		}
+	}
+	return best, best.Speedup
+}
+
+// MinSpeedup returns the smallest (non-zero-baseline) speedup.
+func (r Fig14Result) MinSpeedup() float64 {
+	min := 0.0
+	for _, row := range r.Rows {
+		if row.Speedup > 0 && (min == 0 || row.Speedup < min) {
+			min = row.Speedup
+		}
+	}
+	return min
+}
+
+// Render implements Renderer.
+func (r Fig14Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 14: baseline (DeepRecSys/Baymax) vs Hercules task scheduler")
+	sb.WriteString("model\tserver\tsla_ms\tbaseline_QPS\thercules_QPS\tspeedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.2fx\n",
+			row.Model, row.Server, row.SLAMS, row.BaselineQPS, row.HerculesQPS, row.Speedup)
+	}
+	sb.WriteString("per-pair speedup ranges (cf. the paper's Fig. 14 annotations):\n")
+	for _, pr := range r.PairRanges() {
+		fmt.Fprintf(&sb, "  %s on %s: %.2fx - %.2fx\n", pr.Model, pr.Server, pr.Min, pr.Max)
+	}
+	best, max := r.MaxSpeedup()
+	fmt.Fprintf(&sb, "speedup range: %.2fx - %.2fx (max: %s on %s)\n",
+		r.MinSpeedup(), max, best.Model, best.Server)
+	return sb.String()
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hercules/internal/costmodel"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/stats"
+	"hercules/internal/workload"
+)
+
+// TableIResult reproduces Table I: the model-zoo configuration summary.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableIRow is one model's configuration line.
+type TableIRow struct {
+	Model       string
+	Service     string
+	NumTables   int
+	EmbRows     int64
+	Lookups     string
+	Pooled      bool
+	Attention   string
+	BottomFC    string
+	PredictFC   string
+	Tasks       int
+	EmbeddingGB float64
+}
+
+// TableI builds the model-zoo summary.
+func TableI() TableIResult {
+	var res TableIResult
+	for _, m := range model.Zoo(model.Prod) {
+		t0 := m.Tables[len(m.Tables)-1] // behaviour/representative table
+		row := TableIRow{
+			Model:       m.Name,
+			Service:     m.Service,
+			NumTables:   len(m.Tables),
+			EmbRows:     t0.Rows,
+			Lookups:     fmt.Sprintf("%d-%d", t0.PoolingMin, t0.PoolingMax),
+			Pooled:      t0.Pooled,
+			Attention:   m.Attention.String(),
+			BottomFC:    fmt.Sprint(m.BottomMLP),
+			PredictFC:   fmt.Sprint(m.PredictMLP),
+			Tasks:       m.Tasks,
+			EmbeddingGB: float64(m.EmbeddingBytes()) / (1 << 30),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r TableIResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Table I: production-scale recommendation model configurations")
+	fmt.Fprintf(&sb, "%-10s %-12s %6s %10s %9s %6s %5s %6s %8s\n",
+		"model", "service", "tables", "rows", "lookups", "pooled", "attn", "tasks", "emb(GB)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %-12s %6d %10d %9s %6v %5s %6d %8.1f\n",
+			row.Model, row.Service, row.NumTables, row.EmbRows, row.Lookups,
+			row.Pooled, row.Attention, row.Tasks, row.EmbeddingGB)
+	}
+	return sb.String()
+}
+
+// TableIIResult reproduces Table II: the server-type inventory.
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// TableIIRow is one server type's line.
+type TableIIRow struct {
+	Type      string
+	Avail     int
+	Label     string
+	Cores     int
+	MemoryGB  int64
+	NMPWays   int
+	GPU       string
+	TDPWatts  float64
+	IdleWatts float64
+}
+
+// TableII builds the server-type inventory with default availabilities.
+func TableII() TableIIResult {
+	fleet := hw.DefaultFleet()
+	var res TableIIResult
+	for i, srv := range fleet.Types {
+		row := TableIIRow{
+			Type:      srv.Type,
+			Avail:     fleet.Counts[i],
+			Label:     srv.String(),
+			Cores:     srv.CPU.PhysicalCores,
+			MemoryGB:  srv.Memory.CapacityBytes >> 30,
+			NMPWays:   srv.Memory.NMPWays,
+			TDPWatts:  srv.TDPWatts(),
+			IdleWatts: srv.IdleWatts(),
+		}
+		if srv.GPU != nil {
+			row.GPU = srv.GPU.Name
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r TableIIResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Table II: system parameters and configurations (T1-T10)")
+	fmt.Fprintf(&sb, "%-4s %5s %-22s %5s %7s %4s %6s %8s %8s\n",
+		"type", "avail", "composition", "cores", "mem(GB)", "nmp", "gpu", "TDP(W)", "idle(W)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-4s %5d %-22s %5d %7d %4d %6s %8.0f %8.0f\n",
+			row.Type, row.Avail, row.Label, row.Cores, row.MemoryGB, row.NMPWays,
+			row.GPU, row.TDPWatts, row.IdleWatts)
+	}
+	return sb.String()
+}
+
+// Fig1Result reproduces Fig. 1(left): per-model compute and memory
+// intensity.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Fig1Row is one model's footprint point.
+type Fig1Row struct {
+	Model           string
+	FLOPsPerItem    float64
+	BytesPerItem    float64
+	Region          string // "memory-dominated" | "compute-dominated"
+	EmbeddingGB     float64
+	SparseLatencyFr float64
+}
+
+// Fig1ModelFootprint computes the footprint chart data.
+func Fig1ModelFootprint() Fig1Result {
+	var res Fig1Result
+	for _, m := range model.Zoo(model.Prod) {
+		s := m.Summarize()
+		region := "compute-dominated"
+		if s.MemoryDominated {
+			region = "memory-dominated"
+		}
+		res.Rows = append(res.Rows, Fig1Row{
+			Model:           m.Name,
+			FLOPsPerItem:    s.FLOPsPerItem,
+			BytesPerItem:    s.SparseBytes,
+			Region:          region,
+			EmbeddingGB:     s.EmbeddingGB,
+			SparseLatencyFr: m.SparseFractionHint(),
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig1Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 1: avg compute FLOPs vs memory bytes per query item")
+	fmt.Fprintf(&sb, "%-10s %14s %14s %10s %-18s\n", "model", "flops/item", "bytes/item", "emb(GB)", "region")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %14.3g %14.3g %10.1f %-18s\n",
+			row.Model, row.FLOPsPerItem, row.BytesPerItem, row.EmbeddingGB, row.Region)
+	}
+	return sb.String()
+}
+
+// Fig2bResult reproduces Fig. 2(b): the query-size histogram.
+type Fig2bResult struct {
+	Hist           *stats.Histogram
+	P50, P75       float64
+	P95, P99       float64
+	Mean           float64
+	TailHeavyRatio float64 // p99/p50
+}
+
+// Fig2bQuerySizes samples the production-like query-size distribution.
+func Fig2bQuerySizes(seed int64) Fig2bResult {
+	d := workload.DefaultQuerySizes()
+	r := stats.NewRand(seed)
+	s := stats.NewSample(30000)
+	h := stats.NewHistogram(0, 1000, 25)
+	for i := 0; i < 30000; i++ {
+		x := float64(d.Draw(r))
+		s.Add(x)
+		h.Observe(x)
+	}
+	return Fig2bResult{
+		Hist: h,
+		P50:  s.P50(), P75: s.P75(), P95: s.P95(), P99: s.P99(),
+		Mean:           s.Mean(),
+		TailHeavyRatio: s.P99() / s.P50(),
+	}
+}
+
+// Render implements Renderer.
+func (r Fig2bResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 2b: query-size distribution (heavy tail)")
+	fmt.Fprintf(&sb, "mean=%.0f p50=%.0f p75=%.0f p95=%.0f p99=%.0f (p99/p50=%.1fx)\n",
+		r.Mean, r.P50, r.P75, r.P95, r.P99, r.TailHeavyRatio)
+	sb.WriteString("size_bin\tcount\tfraction\n")
+	sb.WriteString(r.Hist.Table())
+	return sb.String()
+}
+
+// Fig2cResult reproduces Fig. 2(c): pooling factors across embedding
+// tables over production queries.
+type Fig2cResult struct {
+	Rows []Fig2cRow
+}
+
+// Fig2cRow summarizes one table's pooling-factor distribution.
+type Fig2cRow struct {
+	EmbID         int
+	P10, P50, P90 float64
+}
+
+// Fig2cPoolingFactors draws 500 queries over 15 tables (paper setup).
+func Fig2cPoolingFactors(seed int64) Fig2cResult {
+	m := model.DLRMRMC2(model.Prod)
+	r := stats.NewRand(seed)
+	const tables = 15
+	samples := make([]*stats.Sample, tables)
+	for i := range samples {
+		samples[i] = stats.NewSample(500)
+	}
+	for q := 0; q < 500; q++ {
+		scale := stats.Lognormal(r, -0.045, 0.3)
+		pf := workload.PoolingFactors(r, m, scale)
+		for i := 0; i < tables; i++ {
+			samples[i].Add(float64(pf[i]))
+		}
+	}
+	var res Fig2cResult
+	for i := 0; i < tables; i++ {
+		res.Rows = append(res.Rows, Fig2cRow{
+			EmbID: i,
+			P10:   samples[i].Percentile(10),
+			P50:   samples[i].P50(),
+			P90:   samples[i].Percentile(90),
+		})
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig2cResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 2c: pooling-factor distribution, 15 tables x 500 queries")
+	sb.WriteString("emb_id\tp10\tp50\tp90\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%d\t%.0f\t%.0f\t%.0f\n", row.EmbID, row.P10, row.P50, row.P90)
+	}
+	return sb.String()
+}
+
+// Fig2dResult reproduces Fig. 2(d): synchronous diurnal loads of two
+// services across datacenters over one week.
+type Fig2dResult struct {
+	Traces      []workload.DiurnalTrace
+	Fluctuation float64 // aggregated (peak-valley)/peak
+}
+
+// Fig2dDiurnalLoad synthesizes 2 services × 4 datacenters for one week.
+func Fig2dDiurnalLoad(seed int64) Fig2dResult {
+	var res Fig2dResult
+	for svc := 0; svc < 2; svc++ {
+		for dc := 0; dc < 4; dc++ {
+			cfg := workload.DefaultDiurnal(
+				fmt.Sprintf("service%d-dc%d", svc+1, dc+1),
+				50000*(1+0.2*float64(svc)), 7, seed+int64(svc*4+dc))
+			res.Traces = append(res.Traces, workload.Synthesize(cfg))
+		}
+	}
+	// Aggregate fluctuation across all traces.
+	steps := res.Traces[0].Steps()
+	agg := make([]float64, steps)
+	for _, tr := range res.Traces {
+		for i := 0; i < steps; i++ {
+			agg[i] += tr.LoadsQPS[i]
+		}
+	}
+	peak, valley := agg[0], agg[0]
+	for _, v := range agg {
+		if v > peak {
+			peak = v
+		}
+		if v < valley {
+			valley = v
+		}
+	}
+	res.Fluctuation = (peak - valley) / peak
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig2dResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 2d: diurnal loads, 2 services x 4 datacenters, 1 week")
+	fmt.Fprintf(&sb, "aggregate peak-to-valley fluctuation: %.0f%%\n", r.Fluctuation*100)
+	sb.WriteString("hour")
+	for _, tr := range r.Traces {
+		fmt.Fprintf(&sb, "\t%s", tr.Service)
+	}
+	sb.WriteByte('\n')
+	// Hourly samples of day 1 for brevity.
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(&sb, "%d", h)
+		for _, tr := range r.Traces {
+			fmt.Fprintf(&sb, "\t%.0f", tr.At(float64(h)*3600))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig5Result reproduces Fig. 5(c): operator-worker idle fraction.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5Row is the idle fraction of one model at one worker count.
+type Fig5Row struct {
+	Model    string
+	Workers  int
+	IdleFrac float64
+}
+
+// Fig5OpWorkerIdle measures dense-graph idle fractions at batch 256.
+func Fig5OpWorkerIdle() Fig5Result {
+	p := costmodel.DefaultParams()
+	srv := hw.ServerType("T2")
+	var res Fig5Result
+	for _, m := range model.Zoo(model.Prod) {
+		g := model.BuildGraph(m)
+		for _, w := range []int{1, 2, 3, 4} {
+			res.Rows = append(res.Rows, Fig5Row{
+				Model:    m.Name,
+				Workers:  w,
+				IdleFrac: costmodel.OpWorkerIdleFraction(p, srv, g, 256, w),
+			})
+		}
+	}
+	return res
+}
+
+// Render implements Renderer.
+func (r Fig5Result) Render() string {
+	var sb strings.Builder
+	header(&sb, "Fig. 5: op-worker idle fraction vs parallel workers (batch 256)")
+	sb.WriteString("model\tworkers\tidle_frac\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\t%d\t%.2f\n", row.Model, row.Workers, row.IdleFrac)
+	}
+	return sb.String()
+}

@@ -1,0 +1,307 @@
+// Package hw describes the heterogeneous server hardware of the Hercules
+// paper (Table II): two Intel Xeon CPU generations, DDR4 and DIMM-based
+// near-memory-processing (NMP) memory configurations, and two NVIDIA GPU
+// generations, composed into the ten server types T1–T10 with their fleet
+// availabilities N1–N10.
+//
+// All quantities are plain SI: bytes, bytes/second, FLOP/second, watts,
+// hertz. The cost model (internal/costmodel) consumes these descriptors;
+// nothing here performs simulation.
+package hw
+
+import "fmt"
+
+// CPU describes a server-grade multi-core processor.
+type CPU struct {
+	Name          string
+	FrequencyHz   float64 // base clock
+	PhysicalCores int     // hyperthreading is not used by the task scheduler
+	L1Bytes       int64
+	L2Bytes       int64
+	LLCBytes      int64
+	TDPWatts      float64
+	IdleWatts     float64 // package idle power
+	// FLOPsPerCycle is the per-core sustained FP32 throughput in
+	// FLOP/cycle for dense GEMM-like kernels (AVX-512 FMA on these parts,
+	// derated for real DL-framework efficiency).
+	FLOPsPerCycle float64
+}
+
+// PeakCoreFLOPS returns one core's sustained FLOP/s.
+func (c CPU) PeakCoreFLOPS() float64 { return c.FrequencyHz * c.FLOPsPerCycle }
+
+// Memory describes a memory subsystem: plain DDR4 or an NMP DIMM
+// configuration with N-way rank-level parallelism.
+type Memory struct {
+	Name            string
+	Channels        int
+	DIMMsPerChannel int
+	RanksPerDIMM    int
+	CapacityBytes   int64
+	BandwidthBps    float64 // aggregate CPU-visible read bandwidth
+	TDPWatts        float64
+	IdleWatts       float64
+	// NMPWays is the rank-level parallelism factor for near-memory SLS
+	// execution (0 for plain DDR4: no near-memory compute).
+	NMPWays int
+}
+
+// IsNMP reports whether this memory configuration can execute pooled
+// embedding (Gather-Reduce) operations near memory.
+func (m Memory) IsNMP() bool { return m.NMPWays > 0 }
+
+// GPU describes a PCIe-attached DL accelerator.
+type GPU struct {
+	Name          string
+	BoostClockHz  float64
+	SMs           int
+	MemoryBytes   int64
+	HBMBps        float64 // device memory bandwidth
+	PCIeBps       float64 // host<->device transfer bandwidth
+	TDPWatts      float64
+	IdleWatts     float64 // leakage + fixed power while powered on
+	FLOPSPeak     float64 // sustained FP32 FLOP/s for GEMM-like kernels
+	KernelLaunchS float64 // fixed per-kernel launch overhead in seconds
+}
+
+// Server is one physical server type Th: a CPU, a memory configuration
+// and optionally a GPU accelerator.
+type Server struct {
+	Type   string // "T1".."T10"
+	CPU    CPU
+	Memory Memory
+	GPU    *GPU // nil when the server has no accelerator
+}
+
+// HasGPU reports whether the server carries an accelerator.
+func (s Server) HasGPU() bool { return s.GPU != nil }
+
+// HasNMP reports whether the server's memory supports near-memory SLS.
+func (s Server) HasNMP() bool { return s.Memory.IsNMP() }
+
+// String renders the paper's composition label, e.g. "CPU-T2+NMPx2+V100".
+func (s Server) String() string {
+	label := s.CPU.Name
+	if s.Memory.IsNMP() {
+		label += fmt.Sprintf("+NMPx%d", s.Memory.NMPWays)
+	}
+	if s.GPU != nil {
+		label += "+" + s.GPU.Name
+	}
+	return label
+}
+
+// TDPWatts returns the aggregate component TDP used as an absolute cap on
+// provisioned power for this server type.
+func (s Server) TDPWatts() float64 {
+	w := s.CPU.TDPWatts + s.Memory.TDPWatts
+	if s.GPU != nil {
+		w += s.GPU.TDPWatts
+	}
+	return w
+}
+
+// IdleWatts returns the power drawn by a powered-on but idle server.
+func (s Server) IdleWatts() float64 {
+	w := s.CPU.IdleWatts + s.Memory.IdleWatts
+	if s.GPU != nil {
+		w += s.GPU.IdleWatts
+	}
+	return w
+}
+
+// CPUT1 is the Intel Xeon D-2191 (Table II, CPU-T1): 18 cores @ 1.6 GHz.
+func CPUT1() CPU {
+	return CPU{
+		Name:          "CPU-T1",
+		FrequencyHz:   1.6e9,
+		PhysicalCores: 18,
+		L1Bytes:       32 << 10,
+		L2Bytes:       1 << 20,
+		LLCBytes:      int64(24.75 * (1 << 20)),
+		TDPWatts:      86,
+		IdleWatts:     26,
+		FLOPsPerCycle: 16, // AVX-512 FMA derated to framework efficiency
+	}
+}
+
+// CPUT2 is the Intel Xeon Gold 6138 (Table II, CPU-T2): 20 cores @ 2.0 GHz.
+func CPUT2() CPU {
+	return CPU{
+		Name:          "CPU-T2",
+		FrequencyHz:   2.0e9,
+		PhysicalCores: 20,
+		L1Bytes:       32 << 10,
+		L2Bytes:       1 << 20,
+		LLCBytes:      int64(27.5 * (1 << 20)),
+		TDPWatts:      125,
+		IdleWatts:     38,
+		FLOPsPerCycle: 16,
+	}
+}
+
+// DDR4T1 is the 64 GB single-rank DDR4 configuration paired with CPU-T1.
+func DDR4T1() Memory {
+	return Memory{
+		Name:            "DDR4",
+		Channels:        4,
+		DIMMsPerChannel: 1,
+		RanksPerDIMM:    1,
+		CapacityBytes:   64 << 30,
+		BandwidthBps:    60e9, // 4 channels of DDR4-2400, derated
+		TDPWatts:        28,
+		IdleWatts:       8,
+	}
+}
+
+// DDR4T2 is the 128 GB dual-rank DDR4 configuration paired with CPU-T2.
+func DDR4T2() Memory {
+	return Memory{
+		Name:            "DDR4",
+		Channels:        4,
+		DIMMsPerChannel: 1,
+		RanksPerDIMM:    2,
+		CapacityBytes:   128 << 30,
+		BandwidthBps:    68e9,
+		TDPWatts:        50,
+		IdleWatts:       14,
+	}
+}
+
+// NMP returns the DIMM-based near-memory configuration with the given
+// rank-parallelism ways (2, 4 or 8 per Table II). Effective SLS bandwidth
+// scales with ways; CPU-visible bandwidth matches the DDR4 baseline.
+func NMP(ways int) Memory {
+	base := DDR4T2()
+	m := Memory{
+		Name:            fmt.Sprintf("NMPx%d", ways),
+		Channels:        4,
+		DIMMsPerChannel: ways / 2,
+		RanksPerDIMM:    2,
+		CapacityBytes:   int64(ways/2) * (128 << 30),
+		BandwidthBps:    base.BandwidthBps,
+		TDPWatts:        float64(ways/2) * 50,
+		IdleWatts:       float64(ways/2)*14 + float64(ways)*2.5, // + NMP unit idle
+		NMPWays:         ways,
+	}
+	return m
+}
+
+// P100 is the NVIDIA P100 descriptor (Table II).
+func P100() *GPU {
+	return &GPU{
+		Name:          "P100",
+		BoostClockHz:  1.480e9,
+		SMs:           56,
+		MemoryBytes:   16 << 30,
+		HBMBps:        720e9,
+		PCIeBps:       16e9,
+		TDPWatts:      300,
+		IdleWatts:     52,
+		FLOPSPeak:     8.0e12, // ~9.3 TF peak FP32, derated
+		KernelLaunchS: 8e-6,
+	}
+}
+
+// V100 is the NVIDIA V100 descriptor (Table II).
+func V100() *GPU {
+	return &GPU{
+		Name:          "V100",
+		BoostClockHz:  1.530e9,
+		SMs:           80,
+		MemoryBytes:   16 << 30,
+		HBMBps:        900e9,
+		PCIeBps:       16e9,
+		TDPWatts:      300,
+		IdleWatts:     55,
+		FLOPSPeak:     12.5e12, // ~14 TF peak FP32, derated
+		KernelLaunchS: 7e-6,
+	}
+}
+
+// ServerType constructs the Table II server type with the given label
+// ("T1".."T10"). It panics on unknown labels; server types are static
+// configuration, so a typo is a programming error.
+func ServerType(label string) Server {
+	switch label {
+	case "T1":
+		return Server{Type: "T1", CPU: CPUT1(), Memory: DDR4T1()}
+	case "T2":
+		return Server{Type: "T2", CPU: CPUT2(), Memory: DDR4T2()}
+	case "T3":
+		return Server{Type: "T3", CPU: CPUT2(), Memory: NMP(2)}
+	case "T4":
+		return Server{Type: "T4", CPU: CPUT2(), Memory: NMP(4)}
+	case "T5":
+		return Server{Type: "T5", CPU: CPUT2(), Memory: NMP(8)}
+	case "T6":
+		return Server{Type: "T6", CPU: CPUT1(), Memory: DDR4T1(), GPU: P100()}
+	case "T7":
+		return Server{Type: "T7", CPU: CPUT2(), Memory: DDR4T2(), GPU: V100()}
+	case "T8":
+		return Server{Type: "T8", CPU: CPUT2(), Memory: NMP(2), GPU: V100()}
+	case "T9":
+		return Server{Type: "T9", CPU: CPUT2(), Memory: NMP(4), GPU: V100()}
+	case "T10":
+		return Server{Type: "T10", CPU: CPUT2(), Memory: NMP(8), GPU: V100()}
+	}
+	panic("hw: unknown server type " + label)
+}
+
+// AllServerTypes returns T1..T10 in order.
+func AllServerTypes() []Server {
+	out := make([]Server, 0, 10)
+	for i := 1; i <= 10; i++ {
+		out = append(out, ServerType(fmt.Sprintf("T%d", i)))
+	}
+	return out
+}
+
+// Fleet describes the availability of each server type in the prototype
+// cluster (Table II: N1–N10).
+type Fleet struct {
+	Types  []Server
+	Counts []int
+}
+
+// DefaultFleet returns the paper's prototype fleet:
+// N1..N10 = 100, 100, 15, 10, 5, 10, 5, 6, 4, 2.
+func DefaultFleet() Fleet {
+	counts := []int{100, 100, 15, 10, 5, 10, 5, 6, 4, 2}
+	return Fleet{Types: AllServerTypes(), Counts: counts}
+}
+
+// CPUOnlyFleet returns the Day-D1 CPU-only cluster (T1 and T2 only).
+func CPUOnlyFleet() Fleet {
+	return Fleet{
+		Types:  []Server{ServerType("T1"), ServerType("T2")},
+		Counts: []int{100, 100},
+	}
+}
+
+// AcceleratedFleet returns the Day-D2 fleet from §VI-C: T1 retired from
+// counting as "accelerated", the cluster is T1–T10 with availabilities
+// (100, 70, 15, 10, 5, 10, 5, 6, 4, 2) per Figure 17.
+func AcceleratedFleet() Fleet {
+	counts := []int{100, 70, 15, 10, 5, 10, 5, 6, 4, 2}
+	return Fleet{Types: AllServerTypes(), Counts: counts}
+}
+
+// Count returns the availability of the given type label, or 0.
+func (f Fleet) Count(label string) int {
+	for i, t := range f.Types {
+		if t.Type == label {
+			return f.Counts[i]
+		}
+	}
+	return 0
+}
+
+// Total returns the total number of servers in the fleet.
+func (f Fleet) Total() int {
+	sum := 0
+	for _, c := range f.Counts {
+		sum += c
+	}
+	return sum
+}

@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServerTypeLabels(t *testing.T) {
+	for i, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10"} {
+		s := AllServerTypes()[i]
+		if s.Type != want {
+			t.Errorf("type %d = %s, want %s", i, s.Type, want)
+		}
+	}
+}
+
+func TestServerTypeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ServerType(bogus) must panic")
+		}
+	}()
+	ServerType("T99")
+}
+
+func TestTableIICPUParams(t *testing.T) {
+	t1, t2 := CPUT1(), CPUT2()
+	if t1.PhysicalCores != 18 || t2.PhysicalCores != 20 {
+		t.Errorf("core counts: %d, %d", t1.PhysicalCores, t2.PhysicalCores)
+	}
+	if t1.FrequencyHz != 1.6e9 || t2.FrequencyHz != 2.0e9 {
+		t.Errorf("frequencies wrong")
+	}
+	if t1.TDPWatts != 86 || t2.TDPWatts != 125 {
+		t.Errorf("TDPs wrong")
+	}
+	if t2.PeakCoreFLOPS() <= t1.PeakCoreFLOPS() {
+		t.Errorf("CPU-T2 core must be faster than CPU-T1")
+	}
+}
+
+func TestTableIIMemoryParams(t *testing.T) {
+	cases := []struct {
+		m        Memory
+		capacity int64
+		tdp      float64
+		nmp      bool
+	}{
+		{DDR4T1(), 64 << 30, 28, false},
+		{DDR4T2(), 128 << 30, 50, false},
+		{NMP(2), 128 << 30, 50, true},
+		{NMP(4), 256 << 30, 100, true},
+		{NMP(8), 512 << 30, 200, true},
+	}
+	for _, c := range cases {
+		if c.m.CapacityBytes != c.capacity {
+			t.Errorf("%s capacity = %d, want %d", c.m.Name, c.m.CapacityBytes, c.capacity)
+		}
+		if c.m.TDPWatts != c.tdp {
+			t.Errorf("%s TDP = %v, want %v", c.m.Name, c.m.TDPWatts, c.tdp)
+		}
+		if c.m.IsNMP() != c.nmp {
+			t.Errorf("%s IsNMP = %v", c.m.Name, c.m.IsNMP())
+		}
+	}
+}
+
+func TestNMPIdleExceedsDDR4(t *testing.T) {
+	// Section VI-B: NMP configurations dissipate extra idle power vs DDR4.
+	if NMP(2).IdleWatts <= DDR4T2().IdleWatts {
+		t.Error("NMPx2 idle power must exceed DDR4")
+	}
+	if NMP(8).IdleWatts <= NMP(2).IdleWatts {
+		t.Error("NMPx8 idle power must exceed NMPx2")
+	}
+}
+
+func TestGPUParams(t *testing.T) {
+	p, v := P100(), V100()
+	if p.SMs != 56 || v.SMs != 80 {
+		t.Errorf("SMs: %d, %d", p.SMs, v.SMs)
+	}
+	if p.MemoryBytes != 16<<30 || v.MemoryBytes != 16<<30 {
+		t.Error("GPU memory must be 16 GB")
+	}
+	if p.PCIeBps != 16e9 || v.PCIeBps != 16e9 {
+		t.Error("PCIe Gen3 must be 16 GB/s")
+	}
+	if v.FLOPSPeak <= p.FLOPSPeak {
+		t.Error("V100 must outperform P100")
+	}
+	if p.TDPWatts != 300 || v.TDPWatts != 300 {
+		t.Error("GPU TDP must be 300 W")
+	}
+}
+
+func TestServerComposition(t *testing.T) {
+	t7 := ServerType("T7")
+	if !t7.HasGPU() || t7.HasNMP() {
+		t.Error("T7 is CPU+GPU")
+	}
+	t3 := ServerType("T3")
+	if t3.HasGPU() || !t3.HasNMP() {
+		t.Error("T3 is CPU+NMP")
+	}
+	t10 := ServerType("T10")
+	if !t10.HasGPU() || !t10.HasNMP() {
+		t.Error("T10 is CPU+NMP+GPU")
+	}
+	if got := t10.String(); !strings.Contains(got, "NMPx8") || !strings.Contains(got, "V100") {
+		t.Errorf("T10 label = %s", got)
+	}
+}
+
+func TestServerPowerAggregation(t *testing.T) {
+	t2 := ServerType("T2")
+	if t2.TDPWatts() != 125+50 {
+		t.Errorf("T2 TDP = %v", t2.TDPWatts())
+	}
+	t7 := ServerType("T7")
+	if t7.TDPWatts() != 125+50+300 {
+		t.Errorf("T7 TDP = %v", t7.TDPWatts())
+	}
+	if t7.IdleWatts() <= t2.IdleWatts() {
+		t.Error("GPU server idle must exceed CPU-only idle (leakage)")
+	}
+	for _, s := range AllServerTypes() {
+		if s.IdleWatts() >= s.TDPWatts() {
+			t.Errorf("%s idle %v >= TDP %v", s.Type, s.IdleWatts(), s.TDPWatts())
+		}
+	}
+}
+
+func TestDefaultFleet(t *testing.T) {
+	f := DefaultFleet()
+	if len(f.Types) != 10 || len(f.Counts) != 10 {
+		t.Fatal("fleet must have 10 types")
+	}
+	want := []int{100, 100, 15, 10, 5, 10, 5, 6, 4, 2}
+	for i, c := range want {
+		if f.Counts[i] != c {
+			t.Errorf("N%d = %d, want %d", i+1, f.Counts[i], c)
+		}
+	}
+	if f.Count("T3") != 15 || f.Count("T42") != 0 {
+		t.Error("Count lookup wrong")
+	}
+	if f.Total() != 257 {
+		t.Errorf("total = %d", f.Total())
+	}
+}
+
+func TestCPUOnlyAndAcceleratedFleets(t *testing.T) {
+	cf := CPUOnlyFleet()
+	if len(cf.Types) != 2 || cf.Total() != 200 {
+		t.Error("CPU-only fleet must be 100×T1 + 100×T2")
+	}
+	af := AcceleratedFleet()
+	if af.Count("T2") != 70 {
+		t.Errorf("accelerated fleet T2 = %d, want 70 (Fig. 17)", af.Count("T2"))
+	}
+}

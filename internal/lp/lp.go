@@ -1,0 +1,313 @@
+// Package lp provides a dense two-phase primal simplex solver for the
+// small linear programs the Hercules cluster provisioner solves every
+// re-provisioning interval (§IV-C, Equations 1–3). The paper uses an
+// interior-point solver; at our problem sizes (H×M ≤ a few hundred
+// variables) simplex reaches the same optimum exactly.
+//
+// Problems are stated in the natural form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i,   x ≥ 0
+//
+// and converted internally to standard form with slack, surplus and
+// artificial variables. Bland's rule guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint comparator.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota // ≤
+	GE                 // ≥
+	EQ                 // =
+)
+
+// Problem is a linear program in natural form.
+type Problem struct {
+	C   []float64   // objective coefficients (length n)
+	A   [][]float64 // constraint matrix (m rows × n cols)
+	B   []float64   // right-hand sides (length m)
+	Rel []Relation  // row relations (length m)
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the solver result.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Validate checks problem dimensions.
+func (p Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return errors.New("lp: inconsistent constraint dimensions")
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// tableau is the standard-form simplex tableau.
+type tableau struct {
+	rows, cols int // constraint rows, total variables (excl. RHS)
+	a          [][]float64
+	basis      []int
+	nOrig      int
+	artStart   int // first artificial-variable column
+}
+
+// Solve runs two-phase primal simplex.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m, n := len(p.A), len(p.C)
+
+	// Normalize to non-negative RHS.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	rel := make([]Relation, m)
+	for i := range p.A {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		rel[i] = p.Rel[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch rel[i] {
+			case LE:
+				rel[i] = GE
+			case GE:
+				rel[i] = LE
+			}
+		}
+	}
+
+	// Count extra columns: one slack/surplus per inequality, one
+	// artificial per GE/EQ row.
+	nSlack, nArt := 0, 0
+	for _, r := range rel {
+		if r != EQ {
+			nSlack++
+		}
+		if r != LE {
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt
+	t := &tableau{rows: m, cols: cols, nOrig: n, artStart: n + nSlack}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, cols+1)
+	}
+	t.basis = make([]int, m)
+
+	slack := n
+	art := n + nSlack
+	for i := 0; i < m; i++ {
+		copy(t.a[i], a[i])
+		t.a[i][cols] = b[i]
+		switch rel[i] {
+		case LE:
+			t.a[i][slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			t.a[i][slack] = -1
+			slack++
+			t.a[i][art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			t.a[i][art] = 1
+			t.basis[i] = art
+			art++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := t.a[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := t.artStart; j < cols; j++ {
+			obj[j] = 1
+		}
+		// Price out the basic artificials.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= t.artStart {
+				for j := 0; j <= cols; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		if !t.iterate() {
+			return Solution{Status: Unbounded}, nil // cannot happen in phase 1
+		}
+		if t.a[m][cols] < -eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= t.artStart {
+				pivoted := false
+				for j := 0; j < t.artStart; j++ {
+					if math.Abs(t.a[i][j]) > eps {
+						t.pivot(i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; leave the artificial at zero.
+					continue
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective with artificials pinned out.
+	obj := t.a[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.C[j]
+	}
+	// Price out basic variables.
+	for i := 0; i < m; i++ {
+		bj := t.basis[i]
+		if math.Abs(obj[bj]) > eps {
+			f := obj[bj]
+			for j := 0; j <= cols; j++ {
+				obj[j] -= f * t.a[i][j]
+			}
+		}
+	}
+	if !t.iteratePhase2() {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.a[i][cols]
+		}
+	}
+	var objV float64
+	for j := 0; j < n; j++ {
+		objV += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objV}, nil
+}
+
+// iterate runs simplex iterations (phase 1: artificials allowed as
+// entering columns). Returns false on unboundedness.
+func (t *tableau) iterate() bool { return t.run(t.cols) }
+
+// iteratePhase2 excludes artificial columns from entering.
+func (t *tableau) iteratePhase2() bool { return t.run(t.artStart) }
+
+// run performs simplex pivots with Bland's rule over columns [0, jMax).
+func (t *tableau) run(jMax int) bool {
+	m, cols := t.rows, t.cols
+	for iter := 0; iter < 10000*(m+cols); iter++ {
+		// Bland: smallest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < jMax; j++ {
+			if t.a[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true // optimal
+		}
+		// Ratio test, Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][cols] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return true // iteration guard; practically unreachable
+}
+
+// pivot performs a Gauss–Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	cols := t.cols
+	pv := t.a[row][col]
+	inv := 1 / pv
+	for j := 0; j <= cols; j++ {
+		t.a[row][j] *= inv
+	}
+	t.a[row][col] = 1 // exactness
+	for i := 0; i <= t.rows; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if math.Abs(f) < eps {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0
+	}
+	if row < t.rows {
+		t.basis[row] = col
+	}
+}

@@ -1,0 +1,319 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hercules/internal/stats"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x≤2, y≤3  →  min -(x+y); optimum (2,3).
+	s := solveOK(t, Problem{
+		C:   []float64{-1, -1},
+		A:   [][]float64{{1, 0}, {0, 1}},
+		B:   []float64{2, 3},
+		Rel: []Relation{LE, LE},
+	})
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-3) > 1e-6 {
+		t.Fatalf("x = %v, want (2,3)", s.X)
+	}
+	if math.Abs(s.Objective+5) > 1e-6 {
+		t.Fatalf("objective = %v, want -5", s.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 10, x ≤ 4  →  x=4, y=6, obj=26.
+	s := solveOK(t, Problem{
+		C:   []float64{2, 3},
+		A:   [][]float64{{1, 1}, {1, 0}},
+		B:   []float64{10, 4},
+		Rel: []Relation{GE, LE},
+	})
+	if math.Abs(s.Objective-26) > 1e-6 {
+		t.Fatalf("objective = %v, want 26 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+y s.t. x+2y = 4, x ≥ 0, y ≥ 0 → y=2, x=0, obj=2.
+	s := solveOK(t, Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 2}},
+		B:   []float64{4},
+		Rel: []Relation{EQ},
+	})
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2 cannot hold.
+	s, err := Solve(Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		B:   []float64{1, 2},
+		Rel: []Relation{LE, GE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with x unconstrained above.
+	s, err := Solve(Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x ≤ -3  ⇔  x ≥ 3; min x → 3.
+	s := solveOK(t, Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{-3},
+		Rel: []Relation{LE},
+	})
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Fatalf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Problem{
+		{},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Rel: []Relation{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Rel: []Relation{LE}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("problem %d must fail validation", i)
+		}
+	}
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// Degenerate vertex: multiple constraints meet; Bland's rule must
+	// still terminate.
+	s := solveOK(t, Problem{
+		C: []float64{-1, -1, -1},
+		A: [][]float64{
+			{1, 1, 0},
+			{1, 1, 0},
+			{0, 0, 1},
+		},
+		B:   []float64{5, 5, 2},
+		Rel: []Relation{LE, LE, LE},
+	})
+	if math.Abs(s.Objective+7) > 1e-6 {
+		t.Fatalf("objective = %v, want -7", s.Objective)
+	}
+}
+
+func TestProvisioningShape(t *testing.T) {
+	// A miniature of the Hercules provisioning LP: 2 server types × 2
+	// workloads. QPS: T1 serves A at 100, B at 50; T2 serves A at 300,
+	// B at 400. Power: T1 150 W, T2 500 W. Loads: A 1000, B 800.
+	// Availability: 20 T1, 4 T2.
+	// Variables: N[t1,a], N[t1,b], N[t2,a], N[t2,b].
+	p := Problem{
+		C: []float64{150, 150, 500, 500},
+		A: [][]float64{
+			{100, 0, 300, 0}, // QPS for A
+			{0, 50, 0, 400},  // QPS for B
+			{1, 1, 0, 0},     // T1 availability
+			{0, 0, 1, 1},     // T2 availability
+		},
+		B:   []float64{1000, 800, 20, 4},
+		Rel: []Relation{GE, GE, LE, LE},
+	}
+	s := solveOK(t, p)
+	// Check feasibility of the returned plan.
+	if s.X[0]*100+s.X[2]*300 < 1000-1e-6 {
+		t.Errorf("load A unmet: %v", s.X)
+	}
+	if s.X[1]*50+s.X[3]*400 < 800-1e-6 {
+		t.Errorf("load B unmet: %v", s.X)
+	}
+	if s.X[0]+s.X[1] > 20+1e-6 || s.X[2]+s.X[3] > 4+1e-6 {
+		t.Errorf("availability violated: %v", s.X)
+	}
+	// B is far more power-efficient on T2 (400 QPS / 500 W vs 50/150):
+	// the optimum must give T2 capacity to B first.
+	if s.X[3] < 1 {
+		t.Errorf("expected T2 prioritized for workload B: %v", s.X)
+	}
+}
+
+func TestRandomProblemsFeasibleSolutions(t *testing.T) {
+	// Property: when the solver reports Optimal, the solution satisfies
+	// every constraint and is non-negative.
+	r := stats.NewRand(99)
+	f := func(seed uint32) bool {
+		n := 2 + int(seed%4)
+		m := 1 + int(seed%3)
+		p := Problem{
+			C:   make([]float64, n),
+			A:   make([][]float64, m),
+			B:   make([]float64, m),
+			Rel: make([]Relation, m),
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = r.Float64() * 10
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = r.Float64() * 5
+			}
+			p.B[i] = r.Float64() * 20
+			if r.Intn(2) == 0 {
+				p.Rel[i] = LE
+			} else {
+				p.Rel[i] = GE
+			}
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return true // infeasible/unbounded is acceptable for random problems
+		}
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-7 {
+				return false
+			}
+		}
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += p.A[i][j] * s.X[j]
+			}
+			switch p.Rel[i] {
+			case LE:
+				if dot > p.B[i]+1e-6 {
+					return false
+				}
+			case GE:
+				if dot < p.B[i]-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() == "" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestHerculesScaleProblem(t *testing.T) {
+	// The production-size provisioning LP: 10 server types × 6 workloads
+	// = 60 variables, 16 constraints. Simplex must solve it instantly
+	// and produce a feasible, integral-repairable plan.
+	const H, M = 10, 6
+	nv := H * M
+	p := Problem{C: make([]float64, nv)}
+	qps := make([]float64, nv)
+	r := stats.NewRand(7)
+	for h := 0; h < H; h++ {
+		for m := 0; m < M; m++ {
+			j := h*M + m
+			qps[j] = 100 + r.Float64()*5000
+			p.C[j] = 100 + r.Float64()*500
+		}
+	}
+	for m := 0; m < M; m++ {
+		row := make([]float64, nv)
+		for h := 0; h < H; h++ {
+			row[h*M+m] = qps[h*M+m]
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 20000+r.Float64()*30000)
+		p.Rel = append(p.Rel, GE)
+	}
+	for h := 0; h < H; h++ {
+		row := make([]float64, nv)
+		for m := 0; m < M; m++ {
+			row[h*M+m] = 1
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 40)
+		p.Rel = append(p.Rel, LE)
+	}
+	s := solveOK(t, p)
+	// Every load constraint satisfied.
+	for m := 0; m < M; m++ {
+		var dot float64
+		for h := 0; h < H; h++ {
+			dot += qps[h*M+m] * s.X[h*M+m]
+		}
+		if dot < p.B[m]-1e-6 {
+			t.Fatalf("load %d unmet: %v < %v", m, dot, p.B[m])
+		}
+	}
+	// Objective must be strictly cheaper than a naive all-on-one-type plan.
+	naive := 0.0
+	for m := 0; m < M; m++ {
+		naive += p.B[m] / qps[m] * p.C[m] // serve everything on type 0
+	}
+	if s.Objective >= naive {
+		t.Fatalf("LP (%v) no better than naive single-type plan (%v)", s.Objective, naive)
+	}
+}
+
+func TestDualityGapSpotCheck(t *testing.T) {
+	// Weak-duality sanity: the reported objective equals c·x recomputed
+	// from the returned solution (no tableau drift).
+	p := Problem{
+		C:   []float64{3, 5, 4},
+		A:   [][]float64{{2, 3, 0}, {0, 2, 4}, {3, 2, 5}},
+		B:   []float64{8, 10, 15},
+		Rel: []Relation{LE, LE, LE},
+	}
+	p.C = []float64{-3, -5, -4} // maximize 3x+5y+4z
+	s := solveOK(t, p)
+	var dot float64
+	for j := range s.X {
+		dot += p.C[j] * s.X[j]
+	}
+	if math.Abs(dot-s.Objective) > 1e-9 {
+		t.Fatalf("objective drift: %v vs %v", dot, s.Objective)
+	}
+}

@@ -1,0 +1,284 @@
+// Package model defines the recommendation-model intermediate
+// representation used throughout Hercules and the six industry
+// model configurations of Table I (DLRM-RMC1/2/3, MT-WnD, DIN, DIEN).
+//
+// A Model is a static description: embedding tables (SparseNet), dense
+// layers, optional attention (FC or GRU), and multi-task heads. From it,
+// BuildGraph derives an operator graph whose nodes carry per-item FLOP
+// and byte costs; the cost model (internal/costmodel) turns those into
+// latencies on concrete hardware, and the partitioner (internal/partition)
+// splits the graph into Gs / Gs.hot / Gd sub-graphs.
+//
+// "Per item" means per ranked candidate: a query of size q ranks q items,
+// so batch cost scales with the number of items in the batch.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AttentionKind describes the attention unit of sequence models.
+type AttentionKind int
+
+// Attention unit variants used by the Table I models.
+const (
+	AttentionNone AttentionKind = iota // DLRM family, MT-WnD
+	AttentionFC                        // DIN: MLP attention over the behaviour sequence
+	AttentionGRU                       // DIEN: GRU interest-evolution layer
+)
+
+// String implements fmt.Stringer.
+func (a AttentionKind) String() string {
+	switch a {
+	case AttentionNone:
+		return "none"
+	case AttentionFC:
+		return "FC"
+	case AttentionGRU:
+		return "GRU"
+	}
+	return fmt.Sprintf("AttentionKind(%d)", int(a))
+}
+
+// EmbTable describes one embedding table.
+type EmbTable struct {
+	Name string
+	Rows int64 // number of embedding entries
+	Dim  int   // embedding vector width (float32 elements)
+	// PoolingMin/PoolingMax bound the per-query pooling factor (number of
+	// lookups that are gathered — and, when Pooled, reduced — per item).
+	// One-hot tables have PoolingMin = PoolingMax = 1.
+	PoolingMin, PoolingMax int
+	// Pooled indicates a Gather-Reduce (SLS) table: the looked-up rows are
+	// summed into one vector. Unpooled multi-hot tables (DIN/DIEN behaviour
+	// sequences) gather rows without reduction, feeding attention.
+	Pooled bool
+	// ZipfSkew is the exponent of the Zipfian row-access distribution,
+	// which the locality-aware partitioner exploits (>0; larger = hotter).
+	ZipfSkew float64
+}
+
+// Bytes returns the table's storage footprint (float32 entries).
+func (t EmbTable) Bytes() int64 { return t.Rows * int64(t.Dim) * 4 }
+
+// MeanPooling returns the expected pooling factor.
+func (t EmbTable) MeanPooling() float64 {
+	return (float64(t.PoolingMin) + float64(t.PoolingMax)) / 2
+}
+
+// Model is a static recommendation-model description (one Table I row).
+type Model struct {
+	Name    string
+	Service string
+	// Tables is the SparseNet: all embedding tables.
+	Tables []EmbTable
+	// DenseInDim is the width of the dense (continuous) input features.
+	DenseInDim int
+	// BottomMLP lists Bottom-FC layer output widths (input = DenseInDim).
+	// Empty for models without a bottom MLP (MT-WnD, DIN, DIEN).
+	BottomMLP []int
+	// PredictMLP lists Predict-FC layer output widths. The input width is
+	// derived from the feature-interaction / concat stage.
+	PredictMLP []int
+	// Tasks is the number of prediction heads (multi-task, MT-WnD). Each
+	// task replicates the PredictMLP. 1 for single-task models.
+	Tasks int
+	// Attention selects the sequence-processing unit and its hidden width.
+	Attention       AttentionKind
+	AttentionHidden int
+	// Interaction enables the DLRM pairwise dot-product feature
+	// interaction between bottom output and pooled embeddings.
+	Interaction bool
+	// SLATargetMS is the default SLA tail-latency target used in the
+	// paper's evaluation (Fig. 15): 20/50/50/50/100/100 ms.
+	SLATargetMS float64
+}
+
+// Validate checks structural invariants of the model description.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return errors.New("model: empty name")
+	}
+	if len(m.Tables) == 0 {
+		return fmt.Errorf("model %s: no embedding tables", m.Name)
+	}
+	for i, t := range m.Tables {
+		if t.Rows <= 0 || t.Dim <= 0 {
+			return fmt.Errorf("model %s: table %d has non-positive shape", m.Name, i)
+		}
+		if t.PoolingMin <= 0 || t.PoolingMax < t.PoolingMin {
+			return fmt.Errorf("model %s: table %d pooling range [%d,%d] invalid",
+				m.Name, i, t.PoolingMin, t.PoolingMax)
+		}
+		if t.ZipfSkew <= 0 {
+			return fmt.Errorf("model %s: table %d needs positive zipf skew", m.Name, i)
+		}
+	}
+	if len(m.PredictMLP) == 0 {
+		return fmt.Errorf("model %s: no predict MLP", m.Name)
+	}
+	if m.Tasks < 1 {
+		return fmt.Errorf("model %s: tasks = %d", m.Name, m.Tasks)
+	}
+	if m.Attention != AttentionNone && m.AttentionHidden <= 0 {
+		return fmt.Errorf("model %s: attention without hidden width", m.Name)
+	}
+	if m.SLATargetMS <= 0 {
+		return fmt.Errorf("model %s: missing SLA target", m.Name)
+	}
+	return nil
+}
+
+// EmbeddingBytes returns the total SparseNet storage footprint.
+func (m *Model) EmbeddingBytes() int64 {
+	var sum int64
+	for _, t := range m.Tables {
+		sum += t.Bytes()
+	}
+	return sum
+}
+
+// DenseParamBytes returns the DenseNet parameter footprint (a few MB —
+// the paper notes >95% of model bytes live in the embeddings).
+func (m *Model) DenseParamBytes() int64 {
+	var params int64
+	in := m.DenseInDim
+	for _, out := range m.BottomMLP {
+		params += int64(in)*int64(out) + int64(out)
+		in = out
+	}
+	in = m.predictInDim()
+	for _, out := range m.PredictMLP {
+		params += (int64(in)*int64(out) + int64(out)) * int64(m.Tasks)
+		in = out
+	}
+	if m.Attention == AttentionGRU {
+		h, d := m.AttentionHidden, m.seqFeatureDim()
+		params += int64(3 * h * (h + d))
+	}
+	if m.Attention == AttentionFC {
+		params += int64(4*m.seqFeatureDim()*m.AttentionHidden + m.AttentionHidden)
+	}
+	return params * 4
+}
+
+// seqFeatureDim returns the embedding width of the behaviour-sequence
+// table (the widest unpooled multi-hot table), or 0 if none.
+func (m *Model) seqFeatureDim() int {
+	dim := 0
+	for _, t := range m.Tables {
+		if !t.Pooled && t.PoolingMax > 1 && t.Dim > dim {
+			dim = t.Dim
+		}
+	}
+	return dim
+}
+
+// embOutWidth returns the total width of concatenated embedding outputs
+// after pooling / attention (each table contributes one Dim-wide vector).
+func (m *Model) embOutWidth() int {
+	w := 0
+	for _, t := range m.Tables {
+		w += t.Dim
+	}
+	return w
+}
+
+// predictInDim derives the Predict-FC input width from the feature
+// combination stage.
+func (m *Model) predictInDim() int {
+	botOut := 0
+	if len(m.BottomMLP) > 0 {
+		botOut = m.BottomMLP[len(m.BottomMLP)-1]
+	}
+	if m.Interaction {
+		// DLRM: pairwise dot products among (tables + bottom) vectors of
+		// equal width, concatenated with the bottom output.
+		n := len(m.Tables) + 1
+		return n*(n-1)/2 + botOut
+	}
+	return m.embOutWidth() + botOut + m.DenseInDim
+}
+
+// mlpFLOPs returns the per-item FLOPs of an MLP given input width and
+// layer widths (2·in·out multiply-accumulates per layer).
+func mlpFLOPs(in int, layers []int) float64 {
+	var f float64
+	for _, out := range layers {
+		f += 2 * float64(in) * float64(out)
+		in = out
+	}
+	return f
+}
+
+// Summary holds the per-item average compute and memory intensity used
+// for the Fig. 1 footprint chart and for quick classification.
+type Summary struct {
+	FLOPsPerItem     float64 // dense compute per ranked item
+	SparseBytes      float64 // embedding bytes moved per ranked item
+	EmbeddingGB      float64 // model storage footprint
+	MemoryDominated  bool    // SparseBytes-heavy (RMC1/RMC2 style)
+	ComputeDominated bool
+}
+
+// Summarize computes average per-item cost intensities.
+func (m *Model) Summarize() Summary {
+	var sparse float64
+	for _, t := range m.Tables {
+		sparse += t.MeanPooling() * float64(t.Dim) * 4
+	}
+	flops := mlpFLOPs(m.DenseInDim, m.BottomMLP)
+	flops += float64(m.Tasks) * mlpFLOPs(m.predictInDim(), m.PredictMLP)
+	if m.Interaction {
+		n := len(m.Tables) + 1
+		d := 0
+		if len(m.Tables) > 0 {
+			d = m.Tables[0].Dim
+		}
+		flops += float64(n*(n-1)/2) * 2 * float64(d)
+	}
+	switch m.Attention {
+	case AttentionFC:
+		seq := m.meanSeqLen()
+		d, h := m.seqFeatureDim(), m.AttentionHidden
+		// DIN attention MLP per behaviour step: concat(4d) -> h -> 1.
+		flops += seq * (2*float64(4*d)*float64(h) + 2*float64(h))
+	case AttentionGRU:
+		seq := m.meanSeqLen()
+		d, h := m.seqFeatureDim(), m.AttentionHidden
+		// GRU per step: 3 gates of h×(h+d) GEMV.
+		flops += seq * 2 * 3 * float64(h) * float64(h+d)
+	}
+	s := Summary{
+		FLOPsPerItem: flops,
+		SparseBytes:  sparse,
+		EmbeddingGB:  float64(m.EmbeddingBytes()) / (1 << 30),
+	}
+	// Operational-intensity split used in Fig. 1's two regions.
+	s.MemoryDominated = flops/sparse < 20
+	s.ComputeDominated = !s.MemoryDominated
+	return s
+}
+
+// meanSeqLen returns the mean behaviour-sequence length.
+func (m *Model) meanSeqLen() float64 {
+	for _, t := range m.Tables {
+		if !t.Pooled && t.PoolingMax > 1 {
+			return t.MeanPooling()
+		}
+	}
+	return 0
+}
+
+// SparseFractionHint estimates the fraction of end-to-end host latency
+// contributed by SparseNet, used for quick classification (the paper
+// notes <5% for MT-WnD/DIN/DIEN).
+func (m *Model) SparseFractionHint() float64 {
+	s := m.Summarize()
+	// Convert to rough time on a reference core: 25 GFLOP/s dense,
+	// 10 GB/s per-thread memory streams.
+	dense := s.FLOPsPerItem / 25e9
+	sparse := s.SparseBytes / 10e9
+	return sparse / (sparse + dense)
+}

@@ -1,0 +1,234 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, v := range []Variant{Prod, Small} {
+		for _, m := range Zoo(v) {
+			if err := m.Validate(); err != nil {
+				t.Errorf("%s (%s): %v", m.Name, v, err)
+			}
+		}
+	}
+}
+
+func TestZooNamesRoundTrip(t *testing.T) {
+	for _, n := range ZooNames {
+		m, err := ByName(n, Prod)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if m.Name != n {
+			t.Errorf("name mismatch: %s vs %s", m.Name, n)
+		}
+	}
+	if _, err := ByName("nope", Prod); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestTableIStructure(t *testing.T) {
+	rmc1 := DLRMRMC1(Prod)
+	if len(rmc1.Tables) != 10 {
+		t.Errorf("RMC1 tables = %d, want ~10", len(rmc1.Tables))
+	}
+	rmc2 := DLRMRMC2(Prod)
+	if len(rmc2.Tables) != 100 {
+		t.Errorf("RMC2 tables = %d, want ~100", len(rmc2.Tables))
+	}
+	wnd := MTWnD(Prod)
+	if len(wnd.Tables) != 26 {
+		t.Errorf("MT-WnD tables = %d, want 26", len(wnd.Tables))
+	}
+	if wnd.Tasks != 5 {
+		t.Errorf("MT-WnD tasks = %d, want multi-task", wnd.Tasks)
+	}
+	for _, tb := range wnd.Tables {
+		if tb.Pooled || tb.PoolingMax != 1 {
+			t.Error("MT-WnD must be one-hot, unpooled")
+		}
+	}
+	din := DIN(Prod)
+	if len(din.Tables) != 3 {
+		t.Errorf("DIN tables = %d, want 3", len(din.Tables))
+	}
+	if din.Attention != AttentionFC || DIEN(Prod).Attention != AttentionGRU {
+		t.Error("DIN uses FC attention, DIEN uses GRU")
+	}
+}
+
+func TestSLATargets(t *testing.T) {
+	// Fig. 15 caption: 20/50/50/50/100/100 ms.
+	want := map[string]float64{
+		"DLRM-RMC1": 20, "DLRM-RMC2": 50, "DLRM-RMC3": 50,
+		"MT-WnD": 50, "DIN": 100, "DIEN": 100,
+	}
+	for _, m := range Zoo(Prod) {
+		if m.SLATargetMS != want[m.Name] {
+			t.Errorf("%s SLA = %v, want %v", m.Name, m.SLATargetMS, want[m.Name])
+		}
+	}
+}
+
+func TestFig1FootprintRegions(t *testing.T) {
+	// Fig. 1 left: RMC1/RMC2 are memory dominated; RMC3, MT-WnD, DIN,
+	// DIEN are compute dominated.
+	memDominated := map[string]bool{
+		"DLRM-RMC1": true, "DLRM-RMC2": true,
+		"DLRM-RMC3": false, "MT-WnD": false, "DIN": false, "DIEN": false,
+	}
+	for _, m := range Zoo(Prod) {
+		s := m.Summarize()
+		if s.MemoryDominated != memDominated[m.Name] {
+			t.Errorf("%s memory-dominated = %v, want %v (flops=%.3g bytes=%.3g)",
+				m.Name, s.MemoryDominated, memDominated[m.Name], s.FLOPsPerItem, s.SparseBytes)
+		}
+	}
+}
+
+func TestFootprintOrdersOfMagnitude(t *testing.T) {
+	// Fig. 1: intensities vary by one to two orders of magnitude.
+	zoo := Zoo(Prod)
+	minF, maxF := math.Inf(1), 0.0
+	minB, maxB := math.Inf(1), 0.0
+	for _, m := range zoo {
+		s := m.Summarize()
+		minF = math.Min(minF, s.FLOPsPerItem)
+		maxF = math.Max(maxF, s.FLOPsPerItem)
+		minB = math.Min(minB, s.SparseBytes)
+		maxB = math.Max(maxB, s.SparseBytes)
+	}
+	if maxF/minF < 10 {
+		t.Errorf("FLOP spread %.1f×, want ≥10×", maxF/minF)
+	}
+	if maxB/minB < 10 {
+		t.Errorf("byte spread %.1f×, want ≥10×", maxB/minB)
+	}
+}
+
+func TestEmbeddingDominatesFootprint(t *testing.T) {
+	// §IV-B: >95% of model bytes are embeddings.
+	for _, m := range Zoo(Prod) {
+		emb := float64(m.EmbeddingBytes())
+		dense := float64(m.DenseParamBytes())
+		if emb/(emb+dense) < 0.95 {
+			t.Errorf("%s embedding fraction %.3f < 0.95", m.Name, emb/(emb+dense))
+		}
+	}
+}
+
+func TestSmallVariantFitsGPU(t *testing.T) {
+	const gpuMem = 16 << 30
+	for _, m := range Zoo(Small) {
+		if m.EmbeddingBytes() > gpuMem {
+			t.Errorf("%s small = %d bytes, exceeds 16 GB", m.Name, m.EmbeddingBytes())
+		}
+	}
+}
+
+func TestProdVariantsExceedGPU(t *testing.T) {
+	// §III-B: model-based scheduling does not scale to large models on a
+	// 16 GB V100 — prod variants must require partitioning.
+	const gpuMem = 16 << 30
+	overflow := 0
+	for _, m := range Zoo(Prod) {
+		if m.EmbeddingBytes() > gpuMem {
+			overflow++
+		}
+	}
+	if overflow < 4 {
+		t.Errorf("only %d prod models exceed GPU memory; paper needs partitioning to matter", overflow)
+	}
+}
+
+func TestSparseFractionHint(t *testing.T) {
+	// §VI-A: SparseNet is <5%–ish of latency for MT-WnD/DIN/DIEN, large
+	// for RMC1/RMC2.
+	for _, name := range []string{"MT-WnD", "DIN", "DIEN"} {
+		m, _ := ByName(name, Prod)
+		if f := m.SparseFractionHint(); f > 0.25 {
+			t.Errorf("%s sparse fraction = %.2f, want small", name, f)
+		}
+	}
+	rmc1 := DLRMRMC1(Prod)
+	if f := rmc1.SparseFractionHint(); f < 0.4 {
+		t.Errorf("RMC1 sparse fraction = %.2f, want large", f)
+	}
+	// RMC2's wide interaction stage adds dense work, but it must remain
+	// clearly more sparse-bound than the attention models.
+	rmc2 := DLRMRMC2(Prod)
+	din := DIN(Prod)
+	if rmc2.SparseFractionHint() <= 2*din.SparseFractionHint() {
+		t.Errorf("RMC2 sparse fraction %.2f not clearly above DIN %.2f",
+			rmc2.SparseFractionHint(), din.SparseFractionHint())
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := DLRMRMC1(Prod)
+	cases := []func(m *Model){
+		func(m *Model) { m.Name = "" },
+		func(m *Model) { m.Tables = nil },
+		func(m *Model) { m.Tables[0].Rows = 0 },
+		func(m *Model) { m.Tables[0].PoolingMin = 0 },
+		func(m *Model) { m.Tables[0].PoolingMax = m.Tables[0].PoolingMin - 1 },
+		func(m *Model) { m.Tables[0].ZipfSkew = 0 },
+		func(m *Model) { m.PredictMLP = nil },
+		func(m *Model) { m.Tasks = 0 },
+		func(m *Model) { m.SLATargetMS = 0 },
+	}
+	for i, mutate := range cases {
+		m := DLRMRMC1(Prod)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: mutated model must fail validation", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("pristine model must validate: %v", err)
+	}
+	bad := DIN(Prod)
+	bad.AttentionHidden = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("attention without hidden width must fail")
+	}
+}
+
+func TestMeanPooling(t *testing.T) {
+	tb := EmbTable{PoolingMin: 20, PoolingMax: 160}
+	if got := tb.MeanPooling(); got != 90 {
+		t.Errorf("mean pooling = %v, want 90", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Prod.String() != "prod" || Small.String() != "small" {
+		t.Error("variant strings wrong")
+	}
+}
+
+func TestAttentionKindString(t *testing.T) {
+	if AttentionNone.String() != "none" || AttentionFC.String() != "FC" || AttentionGRU.String() != "GRU" {
+		t.Error("attention strings wrong")
+	}
+	if AttentionKind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestQuickPoolingMeanWithinBounds(t *testing.T) {
+	f := func(lo, span uint8) bool {
+		min := int(lo%100) + 1
+		max := min + int(span%200)
+		tb := EmbTable{PoolingMin: min, PoolingMax: max}
+		mp := tb.MeanPooling()
+		return mp >= float64(min) && mp <= float64(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package model
+
+import "fmt"
+
+// Variant selects the model scale per Table I: Prod is the full
+// production footprint; Small is the reduced version that fits a 16 GB
+// accelerator without partitioning (used for the §III-B characterization).
+type Variant int
+
+// Model scale variants.
+const (
+	Prod Variant = iota
+	Small
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == Small {
+		return "small"
+	}
+	return "prod"
+}
+
+// tables builds n homogeneous pooled tables.
+func tables(n int, rows int64, dim, poolMin, poolMax int, pooled bool, skew float64) []EmbTable {
+	out := make([]EmbTable, n)
+	for i := range out {
+		out[i] = EmbTable{
+			Name:       fmt.Sprintf("emb%d", i),
+			Rows:       rows,
+			Dim:        dim,
+			PoolingMin: poolMin,
+			PoolingMax: poolMax,
+			Pooled:     pooled,
+			ZipfSkew:   skew,
+		}
+	}
+	return out
+}
+
+// DLRMRMC1 is Facebook's social-media ranking model RMC1: ~10 pooled
+// tables of 1–5M rows, 20–160 lookups, small MLPs. Memory dominated.
+func DLRMRMC1(v Variant) *Model {
+	rows := int64(2_500_000)
+	if v == Small {
+		rows = 1_000_000
+	}
+	return &Model{
+		Name:        "DLRM-RMC1",
+		Service:     "Social Media",
+		Tables:      tables(10, rows, 64, 20, 160, true, 0.95),
+		DenseInDim:  256,
+		BottomMLP:   []int{128, 32},
+		PredictMLP:  []int{256, 64, 1},
+		Tasks:       1,
+		Interaction: true,
+		SLATargetMS: 20,
+	}
+}
+
+// DLRMRMC2 is RMC2: ~100 pooled tables — an order of magnitude more
+// sparse capacity and bandwidth demand than RMC1. Per-table pooling is
+// heterogeneous as in production (Fig. 2c): a minority of hot-path
+// tables pool 20–160 rows, the rest only a handful.
+func DLRMRMC2(v Variant) *Model {
+	rows := int64(2_500_000)
+	n := 100
+	if v == Small {
+		rows = 1_000_000
+		n = 40 // small variant keeps the table count GPU-resident
+	}
+	tbs := make([]EmbTable, n)
+	for i := range tbs {
+		poolMin, poolMax := 2, 20
+		if i%5 == 0 {
+			poolMin, poolMax = 20, 160
+		}
+		tbs[i] = EmbTable{
+			Name:       fmt.Sprintf("emb%d", i),
+			Rows:       rows,
+			Dim:        64,
+			PoolingMin: poolMin,
+			PoolingMax: poolMax,
+			Pooled:     true,
+			ZipfSkew:   0.95,
+		}
+	}
+	return &Model{
+		Name:        "DLRM-RMC2",
+		Service:     "Social Media",
+		Tables:      tbs,
+		DenseInDim:  256,
+		BottomMLP:   []int{128, 32},
+		PredictMLP:  []int{512, 128, 1},
+		Tasks:       1,
+		Interaction: true,
+		SLATargetMS: 50,
+	}
+}
+
+// DLRMRMC3 is RMC3: ~10 tables of 10–20M rows with a wide 2560-512-32
+// bottom MLP — dense-feature dominated.
+func DLRMRMC3(v Variant) *Model {
+	rows := int64(15_000_000)
+	if v == Small {
+		rows = 1_000_000
+	}
+	return &Model{
+		Name:        "DLRM-RMC3",
+		Service:     "Social Media",
+		Tables:      tables(10, rows, 64, 20, 50, true, 0.95),
+		DenseInDim:  2560,
+		BottomMLP:   []int{512, 32},
+		PredictMLP:  []int{512, 128, 1},
+		Tasks:       1,
+		Interaction: true,
+		SLATargetMS: 50,
+	}
+}
+
+// MTWnD is Google's multi-task Wide & Deep video model: 26 one-hot
+// tables and N parallel 1024-512-256 prediction towers.
+func MTWnD(v Variant) *Model {
+	rows := int64(20_000_000)
+	if v == Small {
+		rows = 1_000_000
+	}
+	return &Model{
+		Name:        "MT-WnD",
+		Service:     "Video",
+		Tables:      tables(26, rows, 32, 1, 1, false, 0.9),
+		DenseInDim:  256,
+		BottomMLP:   nil,
+		PredictMLP:  []int{1024, 512, 256, 1},
+		Tasks:       5,
+		Interaction: false,
+		SLATargetMS: 50,
+	}
+}
+
+// dinTables builds the 3-table DIN/DIEN SparseNet: two one-hot profile
+// tables plus one unpooled behaviour-sequence table with 100–1000
+// gathered rows feeding attention.
+func dinTables(rows int64) []EmbTable {
+	return []EmbTable{
+		{Name: "user", Rows: rows, Dim: 32, PoolingMin: 1, PoolingMax: 1, Pooled: false, ZipfSkew: 0.9},
+		{Name: "item", Rows: rows, Dim: 32, PoolingMin: 1, PoolingMax: 1, Pooled: false, ZipfSkew: 0.9},
+		{Name: "behavior", Rows: rows, Dim: 32, PoolingMin: 100, PoolingMax: 1000, Pooled: false, ZipfSkew: 0.9},
+	}
+}
+
+// DIN is Alibaba's Deep Interest Network: FC attention over the user
+// behaviour sequence. Compute dominated.
+func DIN(v Variant) *Model {
+	rows := int64(100_000_000)
+	if v == Small {
+		rows = 1_000_000
+	}
+	return &Model{
+		Name:            "DIN",
+		Service:         "E-commerce",
+		Tables:          dinTables(rows),
+		DenseInDim:      64,
+		BottomMLP:       nil,
+		PredictMLP:      []int{200, 80, 2},
+		Tasks:           1,
+		Attention:       AttentionFC,
+		AttentionHidden: 36,
+		Interaction:     false,
+		SLATargetMS:     100,
+	}
+}
+
+// DIEN is Alibaba's Deep Interest Evolution Network: GRU interest
+// extraction over the behaviour sequence. The most compute-intensive
+// model in the zoo.
+func DIEN(v Variant) *Model {
+	rows := int64(100_000_000)
+	if v == Small {
+		rows = 1_000_000
+	}
+	return &Model{
+		Name:            "DIEN",
+		Service:         "E-commerce",
+		Tables:          dinTables(rows),
+		DenseInDim:      64,
+		BottomMLP:       nil,
+		PredictMLP:      []int{200, 80, 2},
+		Tasks:           1,
+		Attention:       AttentionGRU,
+		AttentionHidden: 64,
+		Interaction:     false,
+		SLATargetMS:     100,
+	}
+}
+
+// ZooNames lists the six Table I models in paper order.
+var ZooNames = []string{"DLRM-RMC1", "DLRM-RMC2", "DLRM-RMC3", "MT-WnD", "DIN", "DIEN"}
+
+// ByName constructs a zoo model by its Table I name.
+func ByName(name string, v Variant) (*Model, error) {
+	switch name {
+	case "DLRM-RMC1":
+		return DLRMRMC1(v), nil
+	case "DLRM-RMC2":
+		return DLRMRMC2(v), nil
+	case "DLRM-RMC3":
+		return DLRMRMC3(v), nil
+	case "MT-WnD":
+		return MTWnD(v), nil
+	case "DIN":
+		return DIN(v), nil
+	case "DIEN":
+		return DIEN(v), nil
+	}
+	return nil, fmt.Errorf("model: unknown zoo model %q", name)
+}
+
+// Zoo returns all six Table I models at the given variant, in order.
+func Zoo(v Variant) []*Model {
+	out := make([]*Model, 0, len(ZooNames))
+	for _, n := range ZooNames {
+		m, err := ByName(n, v)
+		if err != nil {
+			panic(err) // unreachable: ZooNames is static
+		}
+		out = append(out, m)
+	}
+	return out
+}

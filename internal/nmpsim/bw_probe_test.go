@@ -1,0 +1,11 @@
+package nmpsim
+
+import "testing"
+
+func TestPrintBandwidths(t *testing.T) {
+	l := Default()
+	t.Logf("per-rank %.2f GB/s", l.PerRankBandwidth()/1e9)
+	for _, w := range []int{2, 4, 8} {
+		t.Logf("x%d: %.1f GB/s", w, l.AggregateBandwidth(w)/1e9)
+	}
+}

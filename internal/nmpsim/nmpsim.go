@@ -1,0 +1,196 @@
+// Package nmpsim models the DIMM-based near-memory-processing (NMP)
+// substrate of the Hercules paper (RecNMP-style rank-level SLS engines).
+//
+// The paper's methodology (§V, Fig. 13) runs a cycle-level NMP simulator
+// offline over sampled queries and records embedding-operator latency and
+// energy in a lookup table (LUT); online, a "dummy SLS-NMP operator"
+// taxes the LUT latency. This package reproduces exactly that: a
+// bank-level DRAM command simulator estimates the sustained random
+// gather-reduce throughput of one rank, a LUT caches per-configuration
+// effective bandwidths, and Latency/Energy answer online queries.
+package nmpsim
+
+import (
+	"math"
+	"sync"
+
+	"hercules/internal/stats"
+)
+
+// DRAMTiming holds the DDR4-2400 device timings used by the rank model.
+// All values are in nanoseconds.
+type DRAMTiming struct {
+	TRCD   float64 // activate to column command
+	TCAS   float64 // column command to data
+	TRP    float64 // precharge
+	TRC    float64 // activate-to-activate, same bank
+	TBurst float64 // burst transfer of one 64 B line (BL8)
+	TFAW   float64 // four-activate window
+	Banks  int     // banks per rank
+}
+
+// DDR42400 returns standard DDR4-2400 timings.
+func DDR42400() DRAMTiming {
+	return DRAMTiming{
+		TRCD:   14.16,
+		TCAS:   14.16,
+		TRP:    14.16,
+		TRC:    45.5,
+		TBurst: 3.33, // 8 beats at 1200 MHz DDR
+		TFAW:   21.0,
+		Banks:  16,
+	}
+}
+
+// RankConfig describes one NMP rank engine.
+type RankConfig struct {
+	Timing DRAMTiming
+	// RowBufferHitRate is the fraction of embedding-row reads that hit an
+	// open row. Production pooled accesses show temporal locality
+	// (Fig. 10a cites hot-entry reuse); 0.2 is a conservative default for
+	// the cold stream the NMP engine sees.
+	RowBufferHitRate float64
+	// LineBytes is the DRAM access granularity (one embedding row read
+	// issues ceil(rowBytes/LineBytes) line reads).
+	LineBytes int
+}
+
+// DefaultRank returns the rank configuration used by Table II's NMP DIMMs.
+func DefaultRank() RankConfig {
+	return RankConfig{Timing: DDR42400(), RowBufferHitRate: 0.2, LineBytes: 64}
+}
+
+// SimulateRankGather runs the bank-level command simulation: nAccesses
+// random 64 B line reads spread across the rank's banks, with the given
+// row-buffer hit rate, returning the elapsed nanoseconds.
+//
+// The model tracks per-bank availability: a row miss pays tRP+tRCD+tCAS,
+// a hit pays tCAS, and every access occupies the shared data bus for
+// tBurst. The four-activate window throttles activate bursts. This is a
+// deliberate simplification of a full DRAM controller but reproduces the
+// sustained random-gather bandwidth that sizing studies report for
+// rank-level SLS engines (~10–14 GB/s per rank).
+func SimulateRankGather(cfg RankConfig, nAccesses int, seed int64) float64 {
+	if nAccesses <= 0 {
+		return 0
+	}
+	t := cfg.Timing
+	r := stats.NewRand(seed)
+	bankReady := make([]float64, t.Banks)
+	var busReady float64
+	var actWindow []float64 // recent activate times for tFAW
+	// Command-issue pipeline: one column/activate command per half burst.
+	cmdIssue := t.TBurst / 4
+	now := 0.0
+	for i := 0; i < nAccesses; i++ {
+		now += cmdIssue
+		bank := r.Intn(t.Banks)
+		start := math.Max(now, bankReady[bank])
+		var dataAt float64
+		if r.Float64() < cfg.RowBufferHitRate {
+			dataAt = start + t.TCAS
+		} else {
+			// Respect the four-activate window.
+			if len(actWindow) >= 4 {
+				windowStart := actWindow[len(actWindow)-4]
+				if start < windowStart+t.TFAW {
+					start = windowStart + t.TFAW
+				}
+			}
+			actWindow = append(actWindow, start)
+			if len(actWindow) > 8 {
+				actWindow = actWindow[len(actWindow)-8:]
+			}
+			dataAt = start + t.TRP + t.TRCD + t.TCAS
+			bankReady[bank] = start + t.TRC
+			// Activates gate command issue through the FAW window.
+			if now < start {
+				now = start
+			}
+		}
+		// Serialize data returns on the shared DQ bus. Accesses to
+		// different banks overlap their activate/CAS phases; only the
+		// burst transfer is exclusive.
+		if dataAt < busReady {
+			dataAt = busReady
+		}
+		busReady = dataAt + t.TBurst
+	}
+	return busReady
+}
+
+// LUT caches per-way-count effective bandwidths, mirroring the paper's
+// precomputed latency/energy table.
+type LUT struct {
+	mu        sync.Mutex
+	rank      RankConfig
+	perRankBW float64 // sustained bytes/sec of one rank engine
+	// EnergyPerByte is the near-memory access energy (no channel
+	// transfer): activate+read energy amortized per byte.
+	EnergyPerByte float64
+	// FixedLaunchS is the host-side cost of dispatching one SLS-NMP
+	// operator (command packet over the channel).
+	FixedLaunchS float64
+}
+
+// NewLUT builds the lookup table by running the rank simulation once.
+func NewLUT(rank RankConfig) *LUT {
+	const accesses = 20000
+	elapsedNS := SimulateRankGather(rank, accesses, 12345)
+	bw := float64(accesses*rank.LineBytes) / (elapsedNS * 1e-9)
+	return &LUT{
+		rank:          rank,
+		perRankBW:     bw,
+		EnergyPerByte: 0.25e-9, // J/B: ~2 pJ/bit near-memory read path
+		FixedLaunchS:  2e-6,
+	}
+}
+
+var (
+	defaultLUTOnce sync.Once
+	defaultLUT     *LUT
+)
+
+// Default returns a process-wide LUT for the Table II NMP configuration.
+func Default() *LUT {
+	defaultLUTOnce.Do(func() { defaultLUT = NewLUT(DefaultRank()) })
+	return defaultLUT
+}
+
+// PerRankBandwidth returns the sustained random-gather bytes/sec of one
+// rank-level engine.
+func (l *LUT) PerRankBandwidth() float64 { return l.perRankBW }
+
+// AggregateBandwidth returns the fleet-visible SLS bandwidth of an NMP
+// configuration with the given rank-parallelism ways across 4 channels.
+// Rank engines operate independently inside the DIMMs, so bandwidth
+// scales near-linearly with ways, derated 7% per doubling for command
+// bus sharing.
+func (l *LUT) AggregateBandwidth(ways int) float64 {
+	if ways <= 0 {
+		return 0
+	}
+	const channels = 4
+	derate := math.Pow(0.93, math.Log2(float64(ways)))
+	return l.perRankBW * float64(ways) * channels * derate
+}
+
+// Latency returns the SLS-NMP operator latency for gathering the given
+// bytes on a ways-way NMP configuration — the value the online "dummy
+// SLS-NMP operator" taxes.
+func (l *LUT) Latency(ways int, bytes float64) float64 {
+	if bytes <= 0 {
+		return l.FixedLaunchS
+	}
+	bw := l.AggregateBandwidth(ways)
+	return l.FixedLaunchS + bytes/bw
+}
+
+// Energy returns the joules consumed by gathering the given bytes near
+// memory (the value forwarded to the power-measurement module).
+func (l *LUT) Energy(bytes float64) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return bytes * l.EnergyPerByte
+}

@@ -1,0 +1,126 @@
+package nmpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateRankGatherMonotone(t *testing.T) {
+	cfg := DefaultRank()
+	t1k := SimulateRankGather(cfg, 1000, 1)
+	t2k := SimulateRankGather(cfg, 2000, 1)
+	t4k := SimulateRankGather(cfg, 4000, 1)
+	if !(t1k < t2k && t2k < t4k) {
+		t.Fatalf("elapsed must grow with accesses: %v %v %v", t1k, t2k, t4k)
+	}
+	// Throughput should be roughly scale-invariant at steady state.
+	bw2 := 2000.0 * 64 / t2k
+	bw4 := 4000.0 * 64 / t4k
+	if math.Abs(bw2-bw4)/bw4 > 0.1 {
+		t.Errorf("bandwidth not steady: %v vs %v B/ns", bw2, bw4)
+	}
+}
+
+func TestSimulateRankGatherZero(t *testing.T) {
+	if SimulateRankGather(DefaultRank(), 0, 1) != 0 {
+		t.Fatal("zero accesses must take zero time")
+	}
+}
+
+func TestPerRankBandwidthPlausible(t *testing.T) {
+	l := NewLUT(DefaultRank())
+	bw := l.PerRankBandwidth()
+	// Rank-level random SLS engines sustain on the order of 5–20 GB/s.
+	if bw < 4e9 || bw > 25e9 {
+		t.Fatalf("per-rank bandwidth %.3g B/s implausible", bw)
+	}
+}
+
+func TestRowBufferHitsHelp(t *testing.T) {
+	cold := DefaultRank()
+	cold.RowBufferHitRate = 0
+	hot := DefaultRank()
+	hot.RowBufferHitRate = 0.9
+	tc := SimulateRankGather(cold, 5000, 7)
+	th := SimulateRankGather(hot, 5000, 7)
+	if th >= tc {
+		t.Fatalf("hot rows must be faster: hit=%v miss=%v", th, tc)
+	}
+}
+
+func TestAggregateBandwidthScales(t *testing.T) {
+	l := Default()
+	b2, b4, b8 := l.AggregateBandwidth(2), l.AggregateBandwidth(4), l.AggregateBandwidth(8)
+	if !(b2 < b4 && b4 < b8) {
+		t.Fatalf("aggregate BW must grow with ways: %v %v %v", b2, b4, b8)
+	}
+	// Near-linear scaling with mild derating: ×4 ways gains ≥3×.
+	if b8/b2 < 3 {
+		t.Errorf("ways 2→8 speedup %.2f, want ≥3", b8/b2)
+	}
+	if l.AggregateBandwidth(0) != 0 {
+		t.Error("0 ways must have 0 bandwidth")
+	}
+}
+
+func TestNMPBeatsChannelBandwidth(t *testing.T) {
+	// The whole point of NMP: aggregate internal gather bandwidth of
+	// NMPx4/x8 must exceed the ~68 GB/s CPU-visible channel bandwidth.
+	l := Default()
+	if l.AggregateBandwidth(4) < 68e9 {
+		t.Errorf("NMPx4 aggregate %.3g < channel 68 GB/s", l.AggregateBandwidth(4))
+	}
+	if l.AggregateBandwidth(8) < 1.5*68e9 {
+		t.Errorf("NMPx8 aggregate %.3g should far exceed the channel", l.AggregateBandwidth(8))
+	}
+}
+
+func TestLatencyMonotoneInBytes(t *testing.T) {
+	l := Default()
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.Latency(4, x) <= l.Latency(4, y)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyFixedFloor(t *testing.T) {
+	l := Default()
+	if l.Latency(4, 0) != l.FixedLaunchS {
+		t.Error("zero bytes must cost the launch overhead only")
+	}
+	if l.Latency(8, 1<<20) >= l.Latency(2, 1<<20) {
+		t.Error("more ways must reduce latency for the same bytes")
+	}
+}
+
+func TestEnergyLinear(t *testing.T) {
+	l := Default()
+	e1 := l.Energy(1 << 20)
+	e2 := l.Energy(2 << 20)
+	if math.Abs(e2-2*e1) > 1e-15 {
+		t.Errorf("energy not linear: %v vs %v", e1, e2)
+	}
+	if l.Energy(-5) != 0 {
+		t.Error("negative bytes must clamp to zero energy")
+	}
+}
+
+func TestDefaultSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the same LUT")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	cfg := DefaultRank()
+	if SimulateRankGather(cfg, 3000, 9) != SimulateRankGather(cfg, 3000, 9) {
+		t.Fatal("simulation must be deterministic for the same seed")
+	}
+}

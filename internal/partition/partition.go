@@ -1,0 +1,190 @@
+// Package partition implements Hercules' HW-aware model partitioning
+// (§IV-B, Fig. 10): locality-aware hot-embedding extraction under an
+// accelerator capacity budget, and the per-item data-movement payloads
+// of the resulting placements.
+//
+// Production embedding accesses are Zipf-skewed, so a small "hot" prefix
+// of rows (ranked by access frequency) absorbs most lookups. Given a
+// per-thread capacity budget (GPU memory / co-location degree), the
+// partitioner sizes per-table hot sets and reports the covered access
+// mass, from which the simulator derives host-side cold work and PCIe
+// payloads for the two accelerator placements:
+//
+//   - Model-based (Fig. 10d): Gs.hot+Gd on the accelerator; the host
+//     gathers cold entries, sending partial sums and hot indices.
+//   - S-D pipeline (Fig. 10c): all of Gs on the host; only pooled
+//     outputs / gathered sequences cross PCIe.
+package partition
+
+import (
+	"math"
+
+	"hercules/internal/model"
+)
+
+// zipfHarmonic approximates the generalized harmonic number
+// H(n, s) = Σ_{i=1..n} i^-s via the Euler–Maclaurin integral form, which
+// is accurate enough for mass ratios at n up to hundreds of millions.
+func zipfHarmonic(n float64, s float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	if n <= 64 {
+		var h float64
+		for i := 1.0; i <= n; i++ {
+			h += math.Pow(i, -s)
+		}
+		return h
+	}
+	var integral float64
+	if math.Abs(s-1) < 1e-9 {
+		integral = math.Log(n)
+	} else {
+		integral = (math.Pow(n, 1-s) - 1) / (1 - s)
+	}
+	// Euler–Maclaurin correction terms.
+	return integral + 0.5*(1+math.Pow(n, -s)) + s/12*(1-math.Pow(n, -s-1))
+}
+
+// ZipfMass returns the fraction of accesses absorbed by the k most
+// popular rows of an n-row table under Zipf(s) access skew.
+func ZipfMass(k, n int64, s float64) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	return zipfHarmonic(float64(k), s) / zipfHarmonic(float64(n), s)
+}
+
+// TablePlan is the hot-set decision for one embedding table.
+type TablePlan struct {
+	HotRows int64   // rows resident on the accelerator
+	HotMass float64 // fraction of accesses the hot rows absorb
+}
+
+// Plan is a locality-aware partition of one model under a capacity budget.
+type Plan struct {
+	Model       *model.Model
+	BudgetBytes int64
+	Tables      []TablePlan
+	HotBytes    int64 // accelerator-resident embedding bytes
+	// DenseBytes is the DenseNet parameter footprint (always resident).
+	DenseBytes int64
+	// WholeModelFits reports whether every table fits entirely.
+	WholeModelFits bool
+}
+
+// BuildPlan sizes hot embedding sets under the given accelerator
+// capacity budget (bytes). The budget is spent proportionally to table
+// footprint after reserving the dense parameters; tables that fit
+// entirely are taken whole, releasing budget for the rest.
+func BuildPlan(m *model.Model, budgetBytes int64) Plan {
+	p := Plan{
+		Model:       m,
+		BudgetBytes: budgetBytes,
+		Tables:      make([]TablePlan, len(m.Tables)),
+		DenseBytes:  m.DenseParamBytes(),
+	}
+	remaining := budgetBytes - p.DenseBytes
+	if remaining < 0 {
+		remaining = 0
+	}
+	// Spread the budget as an equal row-fraction across tables. Zipf
+	// access mass is concave in the hot-set size, so the marginal mass
+	// per byte is highest for the first rows of *every* table: spreading
+	// dominates packing whole tables (which would spend budget on deep,
+	// rarely-touched tails while other tables get nothing).
+	total := m.EmbeddingBytes()
+	frac := 0.0
+	if total > 0 {
+		frac = float64(remaining) / float64(total)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	for i, t := range m.Tables {
+		hot := int64(frac * float64(t.Rows))
+		if frac >= 1 {
+			hot = t.Rows
+		}
+		p.Tables[i] = TablePlan{
+			HotRows: hot,
+			HotMass: ZipfMass(hot, t.Rows, t.ZipfSkew),
+		}
+		p.HotBytes += hot * int64(t.Dim) * 4
+	}
+	p.WholeModelFits = frac >= 1
+	return p
+}
+
+// Payload captures the per-item data movement of an accelerator
+// placement (excluding the dense-feature input, which the cost model
+// adds itself).
+type Payload struct {
+	// PCIeBytesPerItem crosses the host→device link per ranked item.
+	PCIeBytesPerItem float64
+	// HostGatherBytesPerItem is cold embedding traffic gathered host-side.
+	HostGatherBytesPerItem float64
+	// GPUGatherBytesPerItem is hot embedding traffic gathered from HBM.
+	GPUGatherBytesPerItem float64
+}
+
+// ModelBasedAccel computes the Fig. 10(d) payload: the accelerator holds
+// Gs.hot+Gd; the host gathers cold entries of pooled tables into partial
+// sums (one Dim-vector per table) and forwards hot indices; for unpooled
+// tables the host ships cold rows verbatim.
+func ModelBasedAccel(p Plan) Payload {
+	var out Payload
+	for i, t := range p.Model.Tables {
+		tp := p.Tables[i]
+		pool := t.MeanPooling()
+		rowBytes := float64(t.Dim) * 4
+		hotLookups := pool * tp.HotMass
+		coldLookups := pool - hotLookups
+		out.GPUGatherBytesPerItem += hotLookups * rowBytes
+		out.PCIeBytesPerItem += hotLookups * model.IndexBytes // hot indices
+		out.HostGatherBytesPerItem += coldLookups * rowBytes
+		if t.Pooled {
+			if coldLookups > 0 {
+				out.PCIeBytesPerItem += rowBytes // partial sum vector
+			}
+		} else {
+			// No reduction possible: cold rows ship verbatim.
+			out.PCIeBytesPerItem += coldLookups * rowBytes
+		}
+	}
+	return out
+}
+
+// SDAccel computes the Fig. 10(c) payload: the host runs all of Gs; the
+// accelerator receives pooled outputs (one vector per pooled table) and
+// the gathered sequences of unpooled tables.
+func SDAccel(p Plan) Payload {
+	var out Payload
+	for _, t := range p.Model.Tables {
+		pool := t.MeanPooling()
+		rowBytes := float64(t.Dim) * 4
+		out.HostGatherBytesPerItem += pool * rowBytes
+		if t.Pooled {
+			out.PCIeBytesPerItem += rowBytes
+		} else {
+			out.PCIeBytesPerItem += pool * rowBytes
+		}
+	}
+	return out
+}
+
+// FullModelAccel computes the payload when the whole model is
+// accelerator-resident (small variants, or plans that fit): only indices
+// cross PCIe and all gathers hit HBM.
+func FullModelAccel(p Plan) Payload {
+	var out Payload
+	for _, t := range p.Model.Tables {
+		pool := t.MeanPooling()
+		out.PCIeBytesPerItem += pool * model.IndexBytes
+		out.GPUGatherBytesPerItem += pool * float64(t.Dim) * 4
+	}
+	return out
+}

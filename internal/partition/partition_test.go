@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hercules/internal/model"
+)
+
+func TestZipfMassBasics(t *testing.T) {
+	if ZipfMass(0, 100, 0.9) != 0 {
+		t.Error("mass(0) must be 0")
+	}
+	if ZipfMass(100, 100, 0.9) != 1 {
+		t.Error("mass(n) must be 1")
+	}
+	if ZipfMass(200, 100, 0.9) != 1 {
+		t.Error("mass(>n) must be 1")
+	}
+	if ZipfMass(10, 0, 0.9) != 0 {
+		t.Error("empty table has no mass")
+	}
+}
+
+func TestZipfMassSkewConcentrates(t *testing.T) {
+	// 1% of a 10M-row table under production-like skew must absorb far
+	// more than 1% of accesses — the fact hot partitioning exploits.
+	m := ZipfMass(100_000, 10_000_000, 0.95)
+	if m < 0.4 {
+		t.Errorf("1%% hot rows cover %.2f of accesses, want ≥0.4", m)
+	}
+	flat := ZipfMass(100_000, 10_000_000, 0.05)
+	if flat > 0.1 {
+		t.Errorf("near-uniform skew should not concentrate (got %.3f)", flat)
+	}
+}
+
+func TestZipfMassMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		k1, k2 := int64(a%1_000_000), int64(b%1_000_000)
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		const n = 1_000_000
+		return ZipfMass(k1, n, 0.9) <= ZipfMass(k2, n, 0.9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfHarmonicMatchesExact(t *testing.T) {
+	// The Euler–Maclaurin approximation must agree with direct summation.
+	for _, s := range []float64{0.5, 0.9, 0.95, 1.2} {
+		var exact float64
+		for i := 1; i <= 5000; i++ {
+			exact += math.Pow(float64(i), -s)
+		}
+		approx := zipfHarmonic(5000, s)
+		if math.Abs(approx-exact)/exact > 0.01 {
+			t.Errorf("s=%v: approx %v vs exact %v", s, approx, exact)
+		}
+	}
+}
+
+func TestBuildPlanSmallModelFits(t *testing.T) {
+	m := model.DLRMRMC1(model.Small) // 2.56 GB
+	p := BuildPlan(m, 16<<30)
+	if !p.WholeModelFits {
+		t.Fatal("small RMC1 must fit 16 GB whole")
+	}
+	for i, tp := range p.Tables {
+		if tp.HotMass != 1 || tp.HotRows != m.Tables[i].Rows {
+			t.Fatalf("table %d not whole: %+v", i, tp)
+		}
+	}
+}
+
+func TestBuildPlanLargeModelPartitions(t *testing.T) {
+	m := model.DLRMRMC2(model.Prod) // 64 GB
+	budget := int64(8 << 30)
+	p := BuildPlan(m, budget)
+	if p.WholeModelFits {
+		t.Fatal("prod RMC2 cannot fit 8 GB")
+	}
+	if p.HotBytes > budget {
+		t.Fatalf("hot bytes %d exceed budget %d", p.HotBytes, budget)
+	}
+	// Skew must buy super-proportional coverage: ~12% of capacity should
+	// cover well over 12% of accesses.
+	capFrac := float64(p.HotBytes) / float64(m.EmbeddingBytes())
+	var mass float64
+	for _, tp := range p.Tables {
+		mass += tp.HotMass
+	}
+	mass /= float64(len(p.Tables))
+	if mass < 2*capFrac {
+		t.Errorf("hot mass %.3f vs capacity fraction %.3f: want ≥2× leverage", mass, capFrac)
+	}
+}
+
+func TestBuildPlanRespectsBudgetProperty(t *testing.T) {
+	m := model.DLRMRMC3(model.Prod)
+	f := func(gb uint8) bool {
+		budget := int64(gb%32) << 30
+		p := BuildPlan(m, budget)
+		return p.HotBytes <= budget || budget < p.DenseBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPlanZeroBudget(t *testing.T) {
+	m := model.DLRMRMC1(model.Prod)
+	p := BuildPlan(m, 0)
+	if p.HotBytes != 0 || p.WholeModelFits {
+		t.Fatalf("zero budget must produce empty plan: %+v", p)
+	}
+	for _, tp := range p.Tables {
+		if tp.HotMass != 0 {
+			t.Fatal("zero budget must give zero mass")
+		}
+	}
+}
+
+func TestPayloadFullModel(t *testing.T) {
+	m := model.DLRMRMC1(model.Small)
+	p := BuildPlan(m, 16<<30)
+	pl := FullModelAccel(p)
+	// Only indices cross PCIe: 90 pooled lookups × 10 tables × 16 B
+	// (index + CSR offset).
+	want := 90.0 * 10 * model.IndexBytes
+	if math.Abs(pl.PCIeBytesPerItem-want) > 1e-9 {
+		t.Errorf("index payload = %v, want %v", pl.PCIeBytesPerItem, want)
+	}
+	if pl.HostGatherBytesPerItem != 0 {
+		t.Error("full-model placement must not gather host-side")
+	}
+	if pl.GPUGatherBytesPerItem <= 0 {
+		t.Error("gathers must hit HBM")
+	}
+}
+
+func TestPayloadSDAccelShipsPooledOutputsOnly(t *testing.T) {
+	m := model.DLRMRMC1(model.Prod)
+	p := BuildPlan(m, 4<<30)
+	sd := SDAccel(p)
+	// Pooled outputs: 10 tables × 64 dim × 4 B = 2560 B per item —
+	// far less than the 7200 B of raw indices.
+	if sd.PCIeBytesPerItem != 10*64*4 {
+		t.Errorf("SD payload = %v, want 2560", sd.PCIeBytesPerItem)
+	}
+	full := FullModelAccel(p)
+	if sd.PCIeBytesPerItem >= full.PCIeBytesPerItem {
+		t.Error("SD pipeline must reduce PCIe vs raw indices for pooled models")
+	}
+	if sd.HostGatherBytesPerItem <= 0 {
+		t.Error("host must do the gathers under SD placement")
+	}
+}
+
+func TestPayloadSDAccelSequenceModelsExpensive(t *testing.T) {
+	// For DIN the gathered behaviour sequence must ship verbatim (no
+	// reduction), so SD placement is PCIe-heavy — the reason DIN prefers
+	// model-based accel placement.
+	m := model.DIN(model.Prod)
+	p := BuildPlan(m, 8<<30)
+	sd := SDAccel(p)
+	want := 550.0*32*4 + 2*32*4 // behaviour rows + two one-hot rows
+	if math.Abs(sd.PCIeBytesPerItem-want) > 1 {
+		t.Errorf("DIN SD payload = %v, want %v", sd.PCIeBytesPerItem, want)
+	}
+}
+
+func TestPayloadModelBasedSplitsByMass(t *testing.T) {
+	m := model.DLRMRMC2(model.Prod)
+	p := BuildPlan(m, 8<<30)
+	mb := ModelBasedAccel(p)
+	if mb.HostGatherBytesPerItem <= 0 {
+		t.Error("cold gathers must stay on host")
+	}
+	if mb.GPUGatherBytesPerItem <= 0 {
+		t.Error("hot gathers must hit HBM")
+	}
+	// Host + GPU gathers must cover all sparse traffic.
+	var total float64
+	for _, tb := range m.Tables {
+		total += tb.MeanPooling() * float64(tb.Dim) * 4
+	}
+	sum := mb.HostGatherBytesPerItem + mb.GPUGatherBytesPerItem
+	if math.Abs(sum-total)/total > 1e-9 {
+		t.Errorf("gather split %v ≠ total %v", sum, total)
+	}
+}
+
+func TestPayloadModelBasedFitsEqualsFullModel(t *testing.T) {
+	m := model.DLRMRMC1(model.Small)
+	p := BuildPlan(m, 16<<30)
+	mb := ModelBasedAccel(p)
+	full := FullModelAccel(p)
+	if math.Abs(mb.PCIeBytesPerItem-full.PCIeBytesPerItem) > 1e-9 {
+		t.Errorf("whole-model plan must degenerate to index-only payload: %v vs %v",
+			mb.PCIeBytesPerItem, full.PCIeBytesPerItem)
+	}
+	if mb.HostGatherBytesPerItem != 0 {
+		t.Error("no cold work when the model fits")
+	}
+}
+
+func TestHotPartitionReducesPCIe(t *testing.T) {
+	// The headline partitioning effect for big pooled models: with a hot
+	// partition, PCIe payload (psum + hot indices) beats shipping every
+	// index when pooling is large... and host cold work shrinks as the
+	// budget grows.
+	m := model.DLRMRMC2(model.Prod)
+	small := ModelBasedAccel(BuildPlan(m, 4<<30))
+	big := ModelBasedAccel(BuildPlan(m, 12<<30))
+	if big.HostGatherBytesPerItem >= small.HostGatherBytesPerItem {
+		t.Error("bigger budget must shrink host cold work")
+	}
+	if big.GPUGatherBytesPerItem <= small.GPUGatherBytesPerItem {
+		t.Error("bigger budget must grow HBM gathers")
+	}
+}

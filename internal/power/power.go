@@ -1,0 +1,121 @@
+// Package power models server power consumption, substituting for the
+// paper's RAPL and nvidia-smi measurements (§V). It converts the
+// activity accounting produced by the server simulator — core busy
+// seconds, memory traffic, NMP traffic, GPU busy time — into average and
+// provisioned (peak) watts, and derives the QPS-per-Watt efficiency
+// metric used for workload classification.
+package power
+
+import (
+	"math"
+
+	"hercules/internal/hw"
+	"hercules/internal/nmpsim"
+)
+
+// Activity summarizes a simulation window's resource usage on one server.
+type Activity struct {
+	WallS float64 // window length (virtual seconds)
+	// CoreBusyS is total core-seconds of CPU occupancy.
+	CoreBusyS float64
+	// HostBytes is main-memory channel traffic in bytes.
+	HostBytes float64
+	// NMPBytes is traffic served inside the NMP DIMMs.
+	NMPBytes float64
+	// GPUBusyS is accelerator kernel-execution seconds.
+	GPUBusyS float64
+	// PCIeBusyS is host↔device transfer seconds (drawn by the GPU board).
+	PCIeBusyS float64
+}
+
+// CPUUtilization returns the average fraction of busy cores.
+func (a Activity) CPUUtilization(c hw.CPU) float64 {
+	if a.WallS <= 0 {
+		return 0
+	}
+	u := a.CoreBusyS / (float64(c.PhysicalCores) * a.WallS)
+	return math.Min(u, 1)
+}
+
+// GPUUtilization returns the average fraction of busy accelerator time.
+func (a Activity) GPUUtilization() float64 {
+	if a.WallS <= 0 {
+		return 0
+	}
+	return math.Min(a.GPUBusyS/a.WallS, 1)
+}
+
+// Model holds the power-conversion coefficients.
+type Model struct {
+	// DRAMEnergyPerByte is the channel access energy (J/B).
+	DRAMEnergyPerByte float64
+	// CPUDynamicExponent shapes the utilization→power curve (sub-linear:
+	// shared uncore power amortizes at high utilization).
+	CPUDynamicExponent float64
+	// GPUTransferWattsFrac is the fraction of GPU dynamic power drawn
+	// during PCIe transfers (DMA engines, not SMs).
+	GPUTransferWattsFrac float64
+	// NMP is the LUT supplying near-memory access energy.
+	NMP *nmpsim.LUT
+}
+
+// Default returns the calibrated power model.
+func Default() Model {
+	return Model{
+		DRAMEnergyPerByte:    0.5e-9,
+		CPUDynamicExponent:   0.9,
+		GPUTransferWattsFrac: 0.25,
+		NMP:                  nmpsim.Default(),
+	}
+}
+
+// Average returns the mean power (watts) of the server over the window.
+func (m Model) Average(srv hw.Server, a Activity) float64 {
+	if a.WallS <= 0 {
+		return srv.IdleWatts()
+	}
+	w := srv.CPU.IdleWatts
+	// CPU dynamic power.
+	util := a.CPUUtilization(srv.CPU)
+	w += (srv.CPU.TDPWatts - srv.CPU.IdleWatts) * math.Pow(util, m.CPUDynamicExponent)
+
+	// Memory: idle plus channel access energy, capped at TDP.
+	memDyn := a.HostBytes * m.DRAMEnergyPerByte / a.WallS
+	if a.NMPBytes > 0 && m.NMP != nil {
+		memDyn += m.NMP.Energy(a.NMPBytes) / a.WallS
+	}
+	w += srv.Memory.IdleWatts + math.Min(memDyn, srv.Memory.TDPWatts-srv.Memory.IdleWatts)
+
+	// GPU: leakage plus utilization-proportional dynamic power.
+	if srv.GPU != nil {
+		g := srv.GPU
+		dyn := (g.TDPWatts - g.IdleWatts) * a.GPUUtilization()
+		dyn += (g.TDPWatts - g.IdleWatts) * m.GPUTransferWattsFrac *
+			math.Min(a.PCIeBusyS/a.WallS, 1)
+		w += g.IdleWatts + math.Min(dyn, g.TDPWatts-g.IdleWatts)
+	}
+	return w
+}
+
+// Provisioned returns the provisioned power budget for the server under
+// the given activity: the paper records offline-measured peak power as
+// the budget (Fig. 9b). We approximate peak as average power with a
+// headroom factor for transient bursts, capped at component TDP.
+func (m Model) Provisioned(srv hw.Server, a Activity) float64 {
+	const headroom = 1.10
+	return math.Min(m.Average(srv, a)*headroom, srv.TDPWatts())
+}
+
+// Efficiency returns latency-bounded QPS-per-Watt, the workload
+// classification metric of Fig. 8(a) and Fig. 15(b).
+func Efficiency(qps, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return qps / watts
+}
+
+// EnergyJ returns the window's total energy in joules.
+func (m Model) EnergyJ(srv hw.Server, a Activity) float64 {
+	return m.Average(srv, a) * a.WallS
+}

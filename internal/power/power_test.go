@@ -1,0 +1,146 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hercules/internal/hw"
+)
+
+func idleActivity(wall float64) Activity { return Activity{WallS: wall} }
+
+func TestIdlePower(t *testing.T) {
+	m := Default()
+	for _, srv := range hw.AllServerTypes() {
+		got := m.Average(srv, idleActivity(10))
+		if math.Abs(got-srv.IdleWatts()) > 1e-9 {
+			t.Errorf("%s idle power = %v, want %v", srv.Type, got, srv.IdleWatts())
+		}
+	}
+}
+
+func TestZeroWallFallsBackToIdle(t *testing.T) {
+	m := Default()
+	srv := hw.ServerType("T2")
+	if got := m.Average(srv, Activity{}); got != srv.IdleWatts() {
+		t.Fatalf("zero wall = %v, want idle", got)
+	}
+}
+
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	m := Default()
+	srv := hw.ServerType("T2")
+	prev := 0.0
+	for u := 0.0; u <= 1.01; u += 0.1 {
+		a := Activity{WallS: 1, CoreBusyS: u * 20}
+		w := m.Average(srv, a)
+		if w < prev {
+			t.Fatalf("power decreased at util %.1f", u)
+		}
+		prev = w
+	}
+}
+
+func TestPowerNeverExceedsTDP(t *testing.T) {
+	m := Default()
+	f := func(core, host, nmp, gpu, pcie float64) bool {
+		a := Activity{
+			WallS:     1,
+			CoreBusyS: math.Abs(core),
+			HostBytes: math.Abs(host) * 1e9,
+			NMPBytes:  math.Abs(nmp) * 1e9,
+			GPUBusyS:  math.Abs(gpu),
+			PCIeBusyS: math.Abs(pcie),
+		}
+		for _, srv := range hw.AllServerTypes() {
+			if m.Average(srv, a) > srv.TDPWatts()+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPUServerIdleCost(t *testing.T) {
+	// §VI-B: GPU servers pay high leakage; idle T7 must burn more than
+	// idle T2.
+	m := Default()
+	t2 := m.Average(hw.ServerType("T2"), idleActivity(1))
+	t7 := m.Average(hw.ServerType("T7"), idleActivity(1))
+	if t7-t2 < 40 {
+		t.Errorf("GPU leakage adds only %v W", t7-t2)
+	}
+}
+
+func TestNMPEnergyCheaperThanChannel(t *testing.T) {
+	// Moving bytes near-memory must cost less energy than over the
+	// channel — the root of the NMP efficiency win.
+	m := Default()
+	bytes := 100e9
+	chanJ := bytes * m.DRAMEnergyPerByte
+	nmpJ := m.NMP.Energy(bytes)
+	if nmpJ >= chanJ {
+		t.Fatalf("NMP energy %v J ≥ channel %v J", nmpJ, chanJ)
+	}
+}
+
+func TestCPUUtilizationClamped(t *testing.T) {
+	a := Activity{WallS: 1, CoreBusyS: 500}
+	if u := a.CPUUtilization(hw.CPUT2()); u != 1 {
+		t.Fatalf("util = %v, want clamped to 1", u)
+	}
+	var empty Activity
+	if empty.CPUUtilization(hw.CPUT2()) != 0 || empty.GPUUtilization() != 0 {
+		t.Fatal("zero activity must have zero utilization")
+	}
+}
+
+func TestProvisionedAboveAverageBelowTDP(t *testing.T) {
+	m := Default()
+	srv := hw.ServerType("T7")
+	a := Activity{WallS: 1, CoreBusyS: 15, HostBytes: 30e9, GPUBusyS: 0.7, PCIeBusyS: 0.5}
+	avg := m.Average(srv, a)
+	prov := m.Provisioned(srv, a)
+	if prov < avg {
+		t.Errorf("provisioned %v < average %v", prov, avg)
+	}
+	if prov > srv.TDPWatts() {
+		t.Errorf("provisioned %v exceeds TDP %v", prov, srv.TDPWatts())
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if Efficiency(1000, 250) != 4 {
+		t.Fatal("QPS/W wrong")
+	}
+	if Efficiency(1000, 0) != 0 {
+		t.Fatal("zero watts must yield zero efficiency")
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := Default()
+	srv := hw.ServerType("T2")
+	a := Activity{WallS: 10, CoreBusyS: 100, HostBytes: 500e9}
+	if e := m.EnergyJ(srv, a); math.Abs(e-10*m.Average(srv, a)) > 1e-9 {
+		t.Fatalf("energy %v ≠ avg power × wall", e)
+	}
+}
+
+func TestPCIeTransferDrawsGPUPower(t *testing.T) {
+	m := Default()
+	srv := hw.ServerType("T7")
+	quiet := m.Average(srv, Activity{WallS: 1})
+	loading := m.Average(srv, Activity{WallS: 1, PCIeBusyS: 1})
+	if loading <= quiet {
+		t.Fatal("PCIe activity must draw power")
+	}
+	computing := m.Average(srv, Activity{WallS: 1, GPUBusyS: 1})
+	if computing <= loading {
+		t.Fatal("full compute must draw more than transfer-only")
+	}
+}

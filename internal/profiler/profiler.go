@@ -1,0 +1,254 @@
+// Package profiler implements Hercules' offline profiling stage
+// (§IV-A, Fig. 9): for every workload/server-type pair it runs the
+// task-scheduling exploration and records the efficiency tuple
+// (QPS[h,m], Power[h,m]) that classifies workloads for the online
+// cluster scheduler.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/sched"
+	"hercules/internal/sim"
+)
+
+// Scheduler selects which task scheduler profiles the pair.
+type Scheduler int
+
+// Task schedulers available for profiling.
+const (
+	// Hercules explores the full parallelism space (Algorithm 1 over all
+	// placements).
+	Hercules Scheduler = iota
+	// Baseline is DeepRecSys on the CPU / Baymax on the accelerator.
+	Baseline
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	if s == Baseline {
+		return "baseline"
+	}
+	return "hercules"
+}
+
+// Entry is one efficiency tuple: the classification record for workload
+// Gm on server type Th (one cell of Fig. 9b).
+type Entry struct {
+	Model  string
+	Server string
+	// QPS is the latency-bounded throughput under the model's SLA.
+	QPS float64
+	// PowerW is the offline-measured provisioned power budget.
+	PowerW float64
+	// QPSPerWatt is the energy-efficiency classification metric.
+	QPSPerWatt float64
+	// Cfg is the optimal task-scheduling configuration found.
+	Cfg sim.Config
+}
+
+// Table is the workload classification table of Fig. 9(b).
+type Table struct {
+	Sched   Scheduler
+	entries map[string]map[string]Entry // server → model → entry
+}
+
+// Options configures profiling.
+type Options struct {
+	Sched Scheduler
+	Seed  int64
+	// Parallelism bounds concurrent pair profiling (0 = 8).
+	Parallelism int
+	// PowerBudgetW constrains every pair's search (0 = TDP-bounded only).
+	PowerBudgetW float64
+}
+
+// BuildTable profiles every model × server pair and assembles the table.
+func BuildTable(models []*model.Model, servers []hw.Server, opt Options) *Table {
+	t := &Table{Sched: opt.Sched, entries: make(map[string]map[string]Entry)}
+	par := opt.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+	type job struct {
+		m   *model.Model
+		srv hw.Server
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				e := ProfilePair(j.m, j.srv, opt)
+				mu.Lock()
+				if t.entries[j.srv.Type] == nil {
+					t.entries[j.srv.Type] = make(map[string]Entry)
+				}
+				t.entries[j.srv.Type][j.m.Name] = e
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, srv := range servers {
+		for _, m := range models {
+			jobs <- job{m, srv}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return t
+}
+
+// ProfilePair profiles one workload/server pair.
+func ProfilePair(m *model.Model, srv hw.Server, opt Options) Entry {
+	s := sim.New(srv, m)
+	sr := sched.NewSearcher(s, sched.Objective{
+		SLAMS:        m.SLATargetMS,
+		PowerBudgetW: opt.PowerBudgetW,
+		Seed:         opt.Seed,
+	})
+	var best sched.Eval
+	if opt.Sched == Baseline {
+		best = sr.SearchBaseline()
+	} else {
+		best = sr.SearchHercules()
+	}
+	e := Entry{
+		Model:  m.Name,
+		Server: srv.Type,
+		QPS:    best.QPS(),
+		Cfg:    best.Cfg,
+	}
+	if best.QPS() > 0 {
+		e.PowerW = best.Cap.At.ProvisionedW
+		e.QPSPerWatt = best.QPS() / best.Cap.At.AvgPowerW
+	} else {
+		// Unservable pair: provision at idle so the cluster layer never
+		// divides by zero.
+		e.PowerW = srv.IdleWatts()
+	}
+	return e
+}
+
+// Get returns the entry for (serverType, model).
+func (t *Table) Get(serverType, modelName string) (Entry, bool) {
+	row, ok := t.entries[serverType]
+	if !ok {
+		return Entry{}, false
+	}
+	e, ok := row[modelName]
+	return e, ok
+}
+
+// MustGet returns the entry or panics (profiling is expected complete).
+func (t *Table) MustGet(serverType, modelName string) Entry {
+	e, ok := t.Get(serverType, modelName)
+	if !ok {
+		panic(fmt.Sprintf("profiler: missing entry %s/%s", serverType, modelName))
+	}
+	return e
+}
+
+// Set inserts an entry (used by tests and by table deserialization).
+func (t *Table) Set(e Entry) {
+	if t.entries == nil {
+		t.entries = make(map[string]map[string]Entry)
+	}
+	if t.entries[e.Server] == nil {
+		t.entries[e.Server] = make(map[string]Entry)
+	}
+	t.entries[e.Server][e.Model] = e
+}
+
+// Servers returns the profiled server types, sorted.
+func (t *Table) Servers() []string {
+	out := make([]string, 0, len(t.entries))
+	for s := range t.entries {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RankServers orders server types by descending QPS-per-Watt for the
+// given model — the greedy scheduler's classification ranking (§II-C).
+func (t *Table) RankServers(modelName string) []string {
+	type se struct {
+		srv string
+		eff float64
+	}
+	var ses []se
+	for srv, row := range t.entries {
+		if e, ok := row[modelName]; ok {
+			ses = append(ses, se{srv, e.QPSPerWatt})
+		}
+	}
+	sort.Slice(ses, func(i, j int) bool {
+		if ses[i].eff != ses[j].eff {
+			return ses[i].eff > ses[j].eff
+		}
+		return ses[i].srv < ses[j].srv
+	})
+	out := make([]string, len(ses))
+	for i, s := range ses {
+		out[i] = s.srv
+	}
+	return out
+}
+
+// Entries returns all entries sorted by (server, model) for
+// serialization and inspection.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	for _, srv := range t.Servers() {
+		row := t.entries[srv]
+		models := make([]string, 0, len(row))
+		for m := range row {
+			models = append(models, m)
+		}
+		sort.Strings(models)
+		for _, m := range models {
+			out = append(out, row[m])
+		}
+	}
+	return out
+}
+
+// FromEntries reconstructs a table (e.g. from a JSON cache).
+func FromEntries(sched Scheduler, entries []Entry) *Table {
+	t := &Table{Sched: sched}
+	for _, e := range entries {
+		t.Set(e)
+	}
+	return t
+}
+
+// Format renders the table as aligned text (the Fig. 9b matrix).
+func (t *Table) Format(models []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", "server")
+	for _, m := range models {
+		fmt.Fprintf(&sb, " %22s", m)
+	}
+	sb.WriteByte('\n')
+	for _, srv := range t.Servers() {
+		fmt.Fprintf(&sb, "%-6s", srv)
+		for _, m := range models {
+			if e, ok := t.Get(srv, m); ok {
+				fmt.Fprintf(&sb, " %9.0fq %8.0fW ", e.QPS, e.PowerW)
+			} else {
+				fmt.Fprintf(&sb, " %22s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

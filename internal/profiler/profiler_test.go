@@ -1,0 +1,161 @@
+package profiler
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+)
+
+func syntheticTable() *Table {
+	t := &Table{}
+	t.Set(Entry{Model: "A", Server: "T1", QPS: 100, PowerW: 100, QPSPerWatt: 1.0})
+	t.Set(Entry{Model: "A", Server: "T2", QPS: 300, PowerW: 150, QPSPerWatt: 2.0})
+	t.Set(Entry{Model: "A", Server: "T3", QPS: 200, PowerW: 400, QPSPerWatt: 0.5})
+	t.Set(Entry{Model: "B", Server: "T1", QPS: 50, PowerW: 100, QPSPerWatt: 0.5})
+	return t
+}
+
+func TestTableSetGet(t *testing.T) {
+	tb := syntheticTable()
+	e, ok := tb.Get("T2", "A")
+	if !ok || e.QPS != 300 {
+		t.Fatalf("Get(T2,A) = %+v, %v", e, ok)
+	}
+	if _, ok := tb.Get("T9", "A"); ok {
+		t.Fatal("missing server must miss")
+	}
+	if _, ok := tb.Get("T1", "Z"); ok {
+		t.Fatal("missing model must miss")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	tb := syntheticTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on a missing entry must panic")
+		}
+	}()
+	tb.MustGet("T9", "A")
+}
+
+func TestRankServersByEfficiency(t *testing.T) {
+	tb := syntheticTable()
+	rank := tb.RankServers("A")
+	want := []string{"T2", "T1", "T3"}
+	if len(rank) != 3 {
+		t.Fatalf("rank = %v", rank)
+	}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", rank, want)
+		}
+	}
+	if got := tb.RankServers("B"); len(got) != 1 || got[0] != "T1" {
+		t.Fatalf("rank(B) = %v", got)
+	}
+	if got := tb.RankServers("Z"); len(got) != 0 {
+		t.Fatalf("rank of unknown model = %v", got)
+	}
+}
+
+func TestServersSorted(t *testing.T) {
+	tb := syntheticTable()
+	got := tb.Servers()
+	if len(got) != 3 || got[0] != "T1" || got[1] != "T2" || got[2] != "T3" {
+		t.Fatalf("servers = %v", got)
+	}
+}
+
+func TestFormatRendersMatrix(t *testing.T) {
+	tb := syntheticTable()
+	out := tb.Format([]string{"A", "B"})
+	if !strings.Contains(out, "T2") || !strings.Contains(out, "300") {
+		t.Fatalf("format missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing entries must render as '-'")
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if Hercules.String() != "hercules" || Baseline.String() != "baseline" {
+		t.Fatal("scheduler strings wrong")
+	}
+}
+
+func TestProfilePairBaselineCPU(t *testing.T) {
+	t.Parallel()
+	m := model.DLRMRMC1(model.Prod)
+	e := ProfilePair(m, hw.ServerType("T2"), Options{Sched: Baseline, Seed: 42})
+	if e.QPS <= 0 {
+		t.Fatalf("baseline profiling found no capacity: %+v", e)
+	}
+	if e.PowerW <= hw.ServerType("T2").IdleWatts() {
+		t.Fatalf("provisioned power %v implausibly low", e.PowerW)
+	}
+	if e.QPSPerWatt <= 0 {
+		t.Fatal("efficiency must be positive")
+	}
+	if e.Model != "DLRM-RMC1" || e.Server != "T2" {
+		t.Fatalf("labels wrong: %+v", e)
+	}
+}
+
+func TestBuildTableSmall(t *testing.T) {
+	t.Parallel()
+	models := []*model.Model{model.DLRMRMC1(model.Prod)}
+	servers := []hw.Server{hw.ServerType("T1"), hw.ServerType("T2")}
+	tb := BuildTable(models, servers, Options{Sched: Baseline, Seed: 42, Parallelism: 2})
+	for _, srv := range servers {
+		e, ok := tb.Get(srv.Type, "DLRM-RMC1")
+		if !ok || e.QPS <= 0 {
+			t.Fatalf("missing/empty entry for %s: %+v ok=%v", srv.Type, e, ok)
+		}
+	}
+	// CPU-T2 has more, faster cores than CPU-T1: higher QPS (Fig. 15).
+	t1 := tb.MustGet("T1", "DLRM-RMC1")
+	t2 := tb.MustGet("T2", "DLRM-RMC1")
+	if t2.QPS <= t1.QPS {
+		t.Errorf("T2 (%.0f QPS) must outrun T1 (%.0f QPS)", t2.QPS, t1.QPS)
+	}
+	if t2.PowerW <= t1.PowerW {
+		t.Errorf("T2 (%.0f W) must cost more power than T1 (%.0f W)", t2.PowerW, t1.PowerW)
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	tb := syntheticTable()
+	entries := tb.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Must be sorted by (server, model).
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1], entries[i]
+		if a.Server > b.Server || (a.Server == b.Server && a.Model > b.Model) {
+			t.Fatalf("entries unsorted at %d: %+v after %+v", i, b, a)
+		}
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Entry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	tb2 := FromEntries(Hercules, back)
+	for _, e := range entries {
+		got := tb2.MustGet(e.Server, e.Model)
+		if got != e {
+			t.Fatalf("round trip changed %+v to %+v", e, got)
+		}
+	}
+	if tb2.Sched != Hercules {
+		t.Fatal("scheduler label lost")
+	}
+}

@@ -1,0 +1,23 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+)
+
+func TestTimingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, pair := range []struct{ m, srv string }{
+		{"DLRM-RMC1", "T2"}, {"DLRM-RMC2", "T2"}, {"MT-WnD", "T7"}, {"DIEN", "T7"}, {"DLRM-RMC1", "T4"},
+	} {
+		m, _ := model.ByName(pair.m, model.Prod)
+		start := time.Now()
+		e := ProfilePair(m, hw.ServerType(pair.srv), Options{Sched: Hercules, Seed: 42})
+		t.Logf("%s on %s: %.0f QPS %.0f W cfg=%+v in %v", pair.m, pair.srv, e.QPS, e.PowerW, e.Cfg, time.Since(start))
+	}
+}

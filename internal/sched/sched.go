@@ -1,0 +1,336 @@
+// Package sched implements Hercules' SLA- and power-aware task-scheduling
+// exploration (§IV-B): the gradient-based search of Algorithm 1 over the
+// parallelism space Psp(M+D+O), the sparse–dense pipeline equilibrium
+// search (Fig. 12), and the baseline schedulers it is compared against —
+// DeepRecSys [37] (data-parallelism only on CPUs) and Baymax [32] (model
+// co-location only on accelerators).
+//
+// Every candidate configuration is scored by its latency-bounded
+// throughput (internal/sim.FindCapacity) subject to the SLA latency
+// target and, optionally, a provisioned power budget. Evaluations are
+// memoized; neighbouring configurations warm-start each other's capacity
+// bracket.
+package sched
+
+import (
+	"fmt"
+
+	"hercules/internal/sim"
+)
+
+// Objective is the constraint set of one search: the SLA tail-latency
+// target and an optional provisioned-power budget (0 = unconstrained).
+type Objective struct {
+	SLAMS        float64
+	PowerBudgetW float64
+	Seed         int64
+}
+
+// Eval is one scored configuration.
+type Eval struct {
+	Cfg sim.Config
+	Cap sim.Capacity
+}
+
+// QPS returns the evaluation's latency-bounded throughput.
+func (e Eval) QPS() float64 { return e.Cap.QPS }
+
+// Searcher scores configurations against one server/model pair.
+type Searcher struct {
+	S   *sim.Server
+	Obj Objective
+
+	memo  map[string]sim.Capacity
+	Evals int // number of non-memoized capacity measurements
+	// Trace records visited configurations in evaluation order
+	// (Fig. 11's search-path overlay). Nil unless CollectTrace is set.
+	Trace        []Eval
+	CollectTrace bool
+	lastQPS      float64 // warm-start hint
+}
+
+// NewSearcher builds a searcher for the server/model pair held by s.
+func NewSearcher(s *sim.Server, obj Objective) *Searcher {
+	return &Searcher{S: s, Obj: obj, memo: make(map[string]sim.Capacity)}
+}
+
+func cfgKey(c sim.Config) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%d/%v", int(c.Place), c.Threads,
+		c.OpWorkers, c.SparseThreads, c.SparseWorkers, c.Batch, c.AccelThreads,
+		c.FusionLimit, c.UseNMP)
+}
+
+// Score returns the latency- and power-bounded capacity of a
+// configuration. Invalid configurations and those whose provisioned
+// power exceeds the budget score zero.
+func (sr *Searcher) Score(cfg sim.Config) Eval {
+	key := cfgKey(cfg)
+	if cap0, ok := sr.memo[key]; ok {
+		return Eval{cfg, cap0}
+	}
+	if err := cfg.Validate(sr.S.HW); err != nil {
+		sr.memo[key] = sim.Capacity{}
+		return Eval{cfg, sim.Capacity{}}
+	}
+	cap0, err := sr.S.FindCapacityHint(cfg, sr.Obj.SLAMS, sr.Obj.Seed, sr.lastQPS)
+	if err != nil {
+		cap0 = sim.Capacity{}
+	}
+	sr.Evals++
+	if sr.Obj.PowerBudgetW > 0 && cap0.At.ProvisionedW > sr.Obj.PowerBudgetW {
+		cap0 = sim.Capacity{} // power constraint violated (Algorithm 1)
+	}
+	sr.memo[key] = cap0
+	if cap0.QPS > 0 {
+		sr.lastQPS = cap0.QPS
+	}
+	if sr.CollectTrace {
+		sr.Trace = append(sr.Trace, Eval{cfg, cap0})
+	}
+	return Eval{cfg, cap0}
+}
+
+// BatchLadder is the discrete data-parallelism dimension on CPUs.
+var BatchLadder = []int{16, 32, 64, 128, 256, 512, 1024}
+
+// FusionLadder is the discrete query-fusion dimension on accelerators
+// (0 = no fusion; values are max fused items, Fig. 7's x-axis).
+var FusionLadder = []int{0, 256, 512, 1000, 2000, 4000, 6000, 8000}
+
+// gradientWalk performs the inner Psp(M+D) exploration of Algorithm 1:
+// starting from minimal co-location and minimal batch, evaluate the
+// three forward candidates — (m+1, d), (m, d+1), (m+1, d+1) — and move
+// to the best improving one; terminate when no candidate improves (the
+// space is convex, §IV-B) or when all candidates are infeasible.
+//
+// mk builds the configuration for (threadIdx, batchIdx); mMax and dMax
+// bound the dimensions.
+func (sr *Searcher) gradientWalk(mk func(m, d int) sim.Config, mMax, dMax int) Eval {
+	m, d := 1, 0
+	best := sr.Score(mk(m, d))
+	for {
+		type cand struct{ m, d int }
+		cands := []cand{{m + 1, d}, {m, d + 1}, {m + 1, d + 1}}
+		improved := false
+		bestCand := best
+		bm, bd := m, d
+		for _, c := range cands {
+			if c.m > mMax || c.d > dMax {
+				continue
+			}
+			e := sr.Score(mk(c.m, c.d))
+			if e.QPS() > bestCand.QPS() {
+				bestCand, bm, bd = e, c.m, c.d
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+		best, m, d = bestCand, bm, bd
+	}
+}
+
+// SearchCPUModel runs Algorithm 1 for model-based scheduling on the CPU:
+// the outer loop sweeps op-parallelism Psp(O); the inner gradient walk
+// explores Psp(M+D). The outer loop terminates when the per-o peak
+// decreases (convexity across Psp(O)).
+func (sr *Searcher) SearchCPUModel(useNMP bool) Eval {
+	cores := sr.S.HW.CPU.PhysicalCores
+	var best Eval
+	prevPeak := -1.0
+	for o := 1; o <= cores; o++ {
+		mk := func(m, d int) sim.Config {
+			return sim.Config{
+				Place:     sim.PlaceCPUModel,
+				Threads:   m,
+				OpWorkers: o,
+				Batch:     BatchLadder[d],
+				UseNMP:    useNMP,
+			}
+		}
+		peak := sr.gradientWalk(mk, cores/o, len(BatchLadder)-1)
+		if peak.QPS() > best.QPS() {
+			best = peak
+		}
+		if prevPeak >= 0 && peak.QPS() < prevPeak {
+			break // Psp(O) peak is past its maximum
+		}
+		prevPeak = peak.QPS()
+	}
+	return best
+}
+
+// SearchCPUSD explores the sparse–dense pipeline space of Fig. 12(a):
+// the outer loop sweeps sparse op-parallelism; the inner walk balances
+// the SparseNet thread count against batch size, with DenseNet threads
+// taking the remaining cores (single worker each, per Fig. 10b).
+func (sr *Searcher) SearchCPUSD(useNMP bool) Eval {
+	cores := sr.S.HW.CPU.PhysicalCores
+	var best Eval
+	prevPeak := -1.0
+	for so := 1; so <= 4 && so < cores; so++ {
+		mk := func(m, d int) sim.Config {
+			denseThreads := cores - m*so
+			if denseThreads < 1 {
+				denseThreads = 0 // invalid; Score rejects it
+			}
+			return sim.Config{
+				Place:         sim.PlaceCPUSD,
+				SparseThreads: m,
+				SparseWorkers: so,
+				Threads:       denseThreads,
+				OpWorkers:     1,
+				Batch:         BatchLadder[d],
+				UseNMP:        useNMP,
+			}
+		}
+		peak := sr.gradientWalk(mk, (cores-1)/so, len(BatchLadder)-1)
+		if peak.QPS() > best.QPS() {
+			best = peak
+		}
+		if prevPeak >= 0 && peak.QPS() < prevPeak {
+			break
+		}
+		prevPeak = peak.QPS()
+	}
+	return best
+}
+
+// hostStageLadder enumerates host SparseNet stage sizes for accelerator
+// placements (threads × 1 worker), bounded by the core count.
+func hostStageLadder(cores int) []int {
+	ladder := []int{1, 2, 4, 8, 12, 16, 20}
+	out := make([]int, 0, len(ladder))
+	for _, v := range ladder {
+		if v <= cores {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SearchAccel explores the accelerator placements (Fig. 10c/d): model
+// co-location × query fusion on the GPU (the Psp(M+D) walk), with an
+// outer sweep over the host SparseNet stage size, mirroring Fig. 12(b)'s
+// host-bounded search. Placement must be PlaceAccelModel or PlaceAccelSD.
+func (sr *Searcher) SearchAccel(place sim.Placement, useNMP bool) Eval {
+	if !place.OnAccel() || sr.S.HW.GPU == nil {
+		return Eval{}
+	}
+	cores := sr.S.HW.CPU.PhysicalCores
+	var best Eval
+	prevPeak := -1.0
+	for _, st := range hostStageLadder(cores) {
+		mk := func(m, d int) sim.Config {
+			return sim.Config{
+				Place:         place,
+				SparseThreads: st,
+				SparseWorkers: 1,
+				Batch:         1024,
+				AccelThreads:  m,
+				FusionLimit:   FusionLadder[d],
+				UseNMP:        useNMP,
+			}
+		}
+		peak := sr.gradientWalk(mk, 8, len(FusionLadder)-1)
+		if peak.QPS() > best.QPS() {
+			best = peak
+		}
+		if prevPeak >= 0 && peak.QPS() < prevPeak {
+			break
+		}
+		prevPeak = peak.QPS()
+	}
+	return best
+}
+
+// SearchHercules runs the full Hercules task-scheduling exploration for
+// the server: every applicable placement (model-based and S-D pipeline,
+// CPU and accelerator) with NMP enabled where present, returning the
+// best configuration found.
+func (sr *Searcher) SearchHercules() Eval {
+	useNMP := sr.S.HW.HasNMP()
+	best := sr.SearchCPUModel(useNMP)
+	if e := sr.SearchCPUSD(useNMP); e.QPS() > best.QPS() {
+		best = e
+	}
+	if sr.S.HW.GPU != nil {
+		if e := sr.SearchAccel(sim.PlaceAccelModel, useNMP); e.QPS() > best.QPS() {
+			best = e
+		}
+		if e := sr.SearchAccel(sim.PlaceAccelSD, useNMP); e.QPS() > best.QPS() {
+			best = e
+		}
+	}
+	return best
+}
+
+// SearchDeepRecSys runs the baseline of [37]: model-based scheduling
+// with one thread per physical core, hill-climbing over batch size only
+// (the Psp(D) space).
+func (sr *Searcher) SearchDeepRecSys() Eval {
+	var best Eval
+	for _, b := range BatchLadder {
+		e := sr.Score(sim.DeepRecSysCPU(sr.S.HW, b))
+		if e.QPS() > best.QPS() {
+			best = e
+		}
+	}
+	return best
+}
+
+// SearchBaymax runs the accelerator baseline of [32]: model co-location
+// without query fusion, sweeping the co-location degree.
+func (sr *Searcher) SearchBaymax() Eval {
+	if sr.S.HW.GPU == nil {
+		return Eval{}
+	}
+	var best Eval
+	for m := 1; m <= 8; m++ {
+		cfg := sim.BaymaxAccel(m, 1024)
+		cfg.SparseThreads = hostStageLadder(sr.S.HW.CPU.PhysicalCores)[len(hostStageLadder(sr.S.HW.CPU.PhysicalCores))-1] / 2
+		if cfg.SparseThreads < 1 {
+			cfg.SparseThreads = 1
+		}
+		e := sr.Score(cfg)
+		if e.QPS() > best.QPS() {
+			best = e
+		}
+	}
+	return best
+}
+
+// SearchBaseline runs the combined state-of-the-art baseline used in
+// Fig. 14: DeepRecSys on the CPU and Baymax on the accelerator; the
+// server serves on whichever engine performs better.
+func (sr *Searcher) SearchBaseline() Eval {
+	best := sr.SearchDeepRecSys()
+	if e := sr.SearchBaymax(); e.QPS() > best.QPS() {
+		best = e
+	}
+	return best
+}
+
+// ExhaustiveCPUModel sweeps the full Psp(M+D+O) grid for model-based CPU
+// scheduling. It is exponentially larger than the gradient search's
+// visit set and exists to verify that Algorithm 1 finds the same
+// optimum on convex spaces (DESIGN.md ablation #2).
+func (sr *Searcher) ExhaustiveCPUModel(useNMP bool) Eval {
+	cores := sr.S.HW.CPU.PhysicalCores
+	var best Eval
+	for o := 1; o <= cores; o++ {
+		for m := 1; m*o <= cores; m++ {
+			for _, b := range BatchLadder {
+				e := sr.Score(sim.Config{
+					Place: sim.PlaceCPUModel, Threads: m, OpWorkers: o,
+					Batch: b, UseNMP: useNMP,
+				})
+				if e.QPS() > best.QPS() {
+					best = e
+				}
+			}
+		}
+	}
+	return best
+}

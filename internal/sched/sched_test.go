@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"testing"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/sim"
+)
+
+func searcher(t *testing.T, modelName, srvLabel string, v model.Variant) *Searcher {
+	t.Helper()
+	m, err := model.ByName(modelName, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(hw.ServerType(srvLabel), m)
+	return NewSearcher(s, Objective{SLAMS: m.SLATargetMS, Seed: 42})
+}
+
+func TestScoreMemoizes(t *testing.T) {
+	sr := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	cfg := sim.Config{Place: sim.PlaceCPUModel, Threads: 10, OpWorkers: 2, Batch: 128}
+	a := sr.Score(cfg)
+	evals := sr.Evals
+	b := sr.Score(cfg)
+	if sr.Evals != evals {
+		t.Fatal("second Score must hit the memo")
+	}
+	if a.QPS() != b.QPS() {
+		t.Fatal("memoized score differs")
+	}
+}
+
+func TestScoreRejectsInvalid(t *testing.T) {
+	sr := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	e := sr.Score(sim.Config{Place: sim.PlaceCPUModel, Threads: 40, OpWorkers: 1, Batch: 64})
+	if e.QPS() != 0 {
+		t.Fatal("invalid config must score zero")
+	}
+}
+
+func TestPowerBudgetConstrains(t *testing.T) {
+	t.Parallel()
+	m := model.DLRMRMC1(model.Prod)
+	s := sim.New(hw.ServerType("T2"), m)
+	unbounded := NewSearcher(s, Objective{SLAMS: 20, Seed: 42})
+	tight := NewSearcher(s, Objective{SLAMS: 20, PowerBudgetW: s.HW.IdleWatts() + 1, Seed: 42})
+	cfg := sim.Config{Place: sim.PlaceCPUModel, Threads: 10, OpWorkers: 2, Batch: 128}
+	if unbounded.Score(cfg).QPS() <= 0 {
+		t.Fatal("unbounded must find capacity")
+	}
+	if tight.Score(cfg).QPS() != 0 {
+		t.Fatal("near-idle power budget must zero the score")
+	}
+}
+
+func TestSearchDeepRecSysFindsCapacity(t *testing.T) {
+	t.Parallel()
+	sr := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	e := sr.SearchDeepRecSys()
+	if e.QPS() <= 0 {
+		t.Fatal("baseline must find positive capacity")
+	}
+	if e.Cfg.Threads != 20 || e.Cfg.OpWorkers != 1 {
+		t.Fatalf("baseline must keep 20×1: %+v", e.Cfg)
+	}
+}
+
+func TestGradientSearchBeatsOrMatchesBaselineCPU(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"DLRM-RMC1", "DLRM-RMC3"} {
+		sr := searcher(t, name, "T2", model.Prod)
+		base := sr.SearchDeepRecSys()
+		herc := sr.SearchCPUModel(false)
+		if sd := sr.SearchCPUSD(false); sd.QPS() > herc.QPS() {
+			herc = sd
+		}
+		if herc.QPS() < base.QPS() {
+			t.Errorf("%s: Hercules CPU (%.0f) below baseline (%.0f)",
+				name, herc.QPS(), base.QPS())
+		}
+	}
+}
+
+func TestGradientMatchesExhaustive(t *testing.T) {
+	t.Parallel()
+	// DESIGN.md ablation #2: on the convex Psp(M+D+O) space the gradient
+	// search must land within a few percent of the exhaustive optimum
+	// while visiting far fewer configurations.
+	sr := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	grad := sr.SearchCPUModel(false)
+	gradEvals := sr.Evals
+
+	sr2 := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	exh := sr2.ExhaustiveCPUModel(false)
+	if grad.QPS() < 0.9*exh.QPS() {
+		t.Errorf("gradient %.0f QPS vs exhaustive %.0f: search missed the optimum",
+			grad.QPS(), exh.QPS())
+	}
+	if gradEvals >= sr2.Evals {
+		t.Errorf("gradient used %d evals, exhaustive %d: no search savings",
+			gradEvals, sr2.Evals)
+	}
+}
+
+func TestSearchAccelUsesFusion(t *testing.T) {
+	t.Parallel()
+	sr := searcher(t, "MT-WnD", "T7", model.Prod)
+	e := sr.SearchAccel(sim.PlaceAccelModel, false)
+	if e.QPS() <= 0 {
+		t.Fatal("accel search must find capacity")
+	}
+	if e.Cfg.FusionLimit == 0 {
+		t.Error("compute-bound MT-WnD should choose query fusion")
+	}
+}
+
+func TestSearchAccelRejectsCPUOnlyServer(t *testing.T) {
+	sr := searcher(t, "MT-WnD", "T2", model.Prod)
+	if e := sr.SearchAccel(sim.PlaceAccelModel, false); e.QPS() != 0 {
+		t.Fatal("accel search must return zero without a GPU")
+	}
+	if e := sr.SearchBaymax(); e.QPS() != 0 {
+		t.Fatal("Baymax needs a GPU")
+	}
+}
+
+func TestHerculesBeatsBaselineOnAccelServer(t *testing.T) {
+	t.Parallel()
+	// Fig. 14(T7): compute-dominated models gain multiples from
+	// co-location + fusion.
+	sr := searcher(t, "DIN", "T7", model.Prod)
+	base := sr.SearchBaseline()
+	herc := sr.SearchHercules()
+	if herc.QPS() <= base.QPS() {
+		t.Fatalf("Hercules (%.0f QPS) must beat baseline (%.0f QPS) on T7",
+			herc.QPS(), base.QPS())
+	}
+	speedup := herc.QPS() / base.QPS()
+	if speedup < 1.2 {
+		t.Errorf("DIN on T7 speedup %.2f×, paper reports multiples", speedup)
+	}
+}
+
+func TestHerculesUsesNMPOnNMPServers(t *testing.T) {
+	t.Parallel()
+	sr := searcher(t, "DLRM-RMC1", "T4", model.Prod)
+	e := sr.SearchHercules()
+	if e.QPS() <= 0 {
+		t.Fatal("search must find capacity on T4")
+	}
+	if !e.Cfg.UseNMP {
+		t.Error("Hercules on an NMP server must enable NMP for pooled models")
+	}
+}
+
+func TestSearchTraceCollected(t *testing.T) {
+	sr := searcher(t, "DLRM-RMC1", "T2", model.Prod)
+	sr.CollectTrace = true
+	sr.SearchDeepRecSys()
+	if len(sr.Trace) == 0 {
+		t.Fatal("trace must record visited configs")
+	}
+}
+
+func TestSDPipelineCompetitiveForMemoryBound(t *testing.T) {
+	t.Parallel()
+	// §VI-A: S-D pipelining + full Psp exploration accelerates the
+	// multi-hot DLRM models; at minimum it must be close to model-based
+	// (it wins in the paper's setting).
+	sr := searcher(t, "DLRM-RMC2", "T2", model.Prod)
+	mb := sr.SearchCPUModel(false)
+	sd := sr.SearchCPUSD(false)
+	if sd.QPS() < 0.7*mb.QPS() {
+		t.Errorf("S-D pipeline (%.0f) far below model-based (%.0f)", sd.QPS(), mb.QPS())
+	}
+}
+
+func TestBaselineOrderingSane(t *testing.T) {
+	t.Parallel()
+	// The combined baseline is the max of its two components.
+	sr := searcher(t, "DLRM-RMC3", "T7", model.Prod)
+	cpu := sr.SearchDeepRecSys()
+	gpu := sr.SearchBaymax()
+	both := sr.SearchBaseline()
+	want := cpu.QPS()
+	if gpu.QPS() > want {
+		want = gpu.QPS()
+	}
+	if both.QPS() != want {
+		t.Fatalf("baseline %.0f ≠ max(cpu %.0f, gpu %.0f)", both.QPS(), cpu.QPS(), gpu.QPS())
+	}
+}

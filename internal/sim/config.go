@@ -1,0 +1,158 @@
+// Package sim simulates recommendation inference serving on one server:
+// the query dispatcher, batching queues, co-located inference threads,
+// sparse–dense pipelines, and accelerator offload of Fig. 3 and Fig. 10.
+//
+// The simulator advances virtual time with a deterministic FCFS
+// "waterfall": queries are processed in arrival order, each stage
+// reserves its resources (CPU threads, the PCIe link, the GPU engine)
+// at the earliest feasible instant, and batch service times come from
+// internal/costmodel. This is equivalent to a discrete-event simulation
+// of a non-preemptive FCFS system and costs O(Q·log) per run, fast
+// enough for the thousands of runs the schedulers' searches need.
+package sim
+
+import (
+	"fmt"
+
+	"hercules/internal/hw"
+)
+
+// Placement selects the model-partition mapping of §IV-B (Fig. 10).
+type Placement int
+
+// Placements. CPU placements ignore the accelerator; accelerator
+// placements use host sparse threads where the partition requires them.
+const (
+	// PlaceCPUModel launches the whole graph Gm on co-located CPU
+	// inference threads (model-based scheduling).
+	PlaceCPUModel Placement = iota
+	// PlaceCPUSD pipelines SparseNet threads into DenseNet threads on
+	// the CPU (Fig. 10b).
+	PlaceCPUSD
+	// PlaceAccelModel puts Gs.hot+Gd on the accelerator; the host serves
+	// cold embeddings as partial sums (Fig. 10d). Degenerates to
+	// whole-model-on-GPU when the partition fits.
+	PlaceAccelModel
+	// PlaceAccelSD runs all of SparseNet on host threads and DenseNet on
+	// the accelerator (Fig. 10c).
+	PlaceAccelSD
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceCPUModel:
+		return "cpu-model"
+	case PlaceCPUSD:
+		return "cpu-sd"
+	case PlaceAccelModel:
+		return "accel-model"
+	case PlaceAccelSD:
+		return "accel-sd"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// OnAccel reports whether the placement uses the accelerator.
+func (p Placement) OnAccel() bool { return p == PlaceAccelModel || p == PlaceAccelSD }
+
+// Config is one point in the task-scheduling space Psp(M+D+O): the
+// parallelism configuration the schedulers search over.
+type Config struct {
+	Place Placement
+	// Threads is the model-thread count m (PlaceCPUModel) or the
+	// DenseNet thread count (PlaceCPUSD).
+	Threads int
+	// OpWorkers is the per-thread operator-worker (core) count o.
+	OpWorkers int
+	// SparseThreads/SparseWorkers describe the host SparseNet stage for
+	// pipeline placements (PlaceCPUSD, and host cold-serving for accel
+	// placements).
+	SparseThreads, SparseWorkers int
+	// Batch is the CPU sub-query split size d in items.
+	Batch int
+	// AccelThreads is the model co-location degree on the accelerator.
+	AccelThreads int
+	// FusionLimit caps fused batch size in items on the accelerator;
+	// 0 disables query fusion (one query per accelerator batch).
+	FusionLimit int
+	// UseNMP dispatches pooled embedding ops to NMP DIMMs when present.
+	UseNMP bool
+}
+
+// CPUCoresUsed returns the number of physical cores the config occupies.
+func (c Config) CPUCoresUsed() int {
+	switch c.Place {
+	case PlaceCPUModel:
+		return c.Threads * c.OpWorkers
+	case PlaceCPUSD:
+		return c.Threads*c.OpWorkers + c.SparseThreads*c.SparseWorkers
+	default:
+		return c.SparseThreads * c.SparseWorkers
+	}
+}
+
+// Validate checks the configuration against the server's resources.
+func (c Config) Validate(srv hw.Server) error {
+	if c.Batch < 1 {
+		return fmt.Errorf("sim: batch %d < 1", c.Batch)
+	}
+	switch c.Place {
+	case PlaceCPUModel:
+		if c.Threads < 1 || c.OpWorkers < 1 {
+			return fmt.Errorf("sim: cpu-model needs threads ≥1 and workers ≥1")
+		}
+	case PlaceCPUSD:
+		if c.Threads < 1 || c.SparseThreads < 1 {
+			return fmt.Errorf("sim: cpu-sd needs both sparse and dense threads")
+		}
+		if c.OpWorkers < 1 || c.SparseWorkers < 1 {
+			return fmt.Errorf("sim: cpu-sd needs positive worker counts")
+		}
+	case PlaceAccelModel, PlaceAccelSD:
+		if srv.GPU == nil {
+			return fmt.Errorf("sim: %v placement on GPU-less server %s", c.Place, srv.Type)
+		}
+		if c.AccelThreads < 1 {
+			return fmt.Errorf("sim: accel placement needs accel threads ≥1")
+		}
+		if c.Place == PlaceAccelSD && (c.SparseThreads < 1 || c.SparseWorkers < 1) {
+			return fmt.Errorf("sim: accel-sd needs a host sparse stage")
+		}
+	default:
+		return fmt.Errorf("sim: unknown placement %d", int(c.Place))
+	}
+	if used := c.CPUCoresUsed(); used > srv.CPU.PhysicalCores {
+		return fmt.Errorf("sim: config uses %d cores, server %s has %d",
+			used, srv.Type, srv.CPU.PhysicalCores)
+	}
+	if c.FusionLimit < 0 {
+		return fmt.Errorf("sim: negative fusion limit")
+	}
+	return nil
+}
+
+// DeepRecSysCPU returns the baseline task-scheduler configuration of
+// [37] on CPUs: one inference thread per physical core, single operator
+// worker, batch size d (the only dimension the baseline sweeps).
+func DeepRecSysCPU(srv hw.Server, batch int) Config {
+	return Config{
+		Place:     PlaceCPUModel,
+		Threads:   srv.CPU.PhysicalCores,
+		OpWorkers: 1,
+		Batch:     batch,
+	}
+}
+
+// BaymaxAccel returns the baseline accelerator configuration of [32]:
+// model co-location without query fusion.
+func BaymaxAccel(coLocated, batch int) Config {
+	return Config{
+		Place:         PlaceAccelModel,
+		SparseThreads: 1, // host stage sized minimally; large models need it
+		SparseWorkers: 1,
+		Batch:         batch,
+		AccelThreads:  coLocated,
+		FusionLimit:   0,
+	}
+}

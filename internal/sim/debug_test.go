@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"testing"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+)
+
+func mustModel() *model.Model { return model.DLRMRMC1(model.Prod) }
+func mustServer() hw.Server   { return hw.ServerType("T7") }
+
+func TestDebugAccelSD(t *testing.T) {
+	m := mustModel()
+	s := New(mustServer(), m)
+	for _, st := range []int{4, 8, 12} {
+		cfg := Config{Place: PlaceAccelSD, SparseThreads: st, SparseWorkers: 1,
+			AccelThreads: 2, Batch: 1024, FusionLimit: 2000}
+		r, err := s.Evaluate(cfg, 50, 42)
+		if err != nil {
+			t.Fatalf("st=%d: %v", st, err)
+		}
+		t.Logf("st=%d rate=50: p95=%.1fms queue=%.1f load=%.1f compute=%.1f gpuUtil=%.2f",
+			st, r.P95MS, r.QueueMS, r.LoadMS, r.ComputeMS, r.GPUUtil)
+	}
+}

@@ -1,0 +1,345 @@
+// Package stats provides small statistical utilities used throughout the
+// Hercules simulator: percentile estimation over sample sets, fixed-bin
+// histograms, running means, and deterministic RNG construction.
+//
+// All simulator randomness flows through rand.Rand instances created by
+// NewRand so that every experiment is reproducible given its seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// NewRand returns a deterministic PRNG for the given seed. Seeds are
+// namespaced by experiment so that sub-experiments do not share streams.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Sample accumulates float64 observations and answers order-statistic
+// queries. It keeps all samples; simulations here are small enough
+// (≤ a few million observations) that exact percentiles are affordable
+// and avoid estimator bias in the tail, which matters for SLA checks.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// Len reports the number of recorded observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return s.xs[0]
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// P50, P75, P95 and P99 are convenience accessors for common tail points.
+func (s *Sample) P50() float64 { return s.Percentile(50) }
+
+// P75 returns the 75th percentile.
+func (s *Sample) P75() float64 { return s.Percentile(75) }
+
+// P95 returns the 95th percentile.
+func (s *Sample) P95() float64 { return s.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all observations but keeps the backing array.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = true
+	s.sum = 0
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so mass is never lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Observe adds one observation to the histogram.
+func (h *Histogram) Observe(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Table renders writable rows for reproducing paper figures on stdout.
+// Each row is "center<TAB>count<TAB>fraction".
+func (h *Histogram) Table() string {
+	var sb strings.Builder
+	for i := range h.Counts {
+		fmt.Fprintf(&sb, "%.4g\t%d\t%.4f\n", h.BinCenter(i), h.Counts[i], h.Fraction(i))
+	}
+	return sb.String()
+}
+
+// Welford implements an online mean/variance accumulator (Welford's
+// algorithm) for streams where storing samples is unnecessary.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt restricts x to [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lognormal draws a lognormal variate with the given location mu and
+// scale sigma of the underlying normal.
+func Lognormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Poisson draws a Poisson-distributed count with mean lambda. It uses
+// Knuth's product method for small lambda and a normal approximation for
+// large lambda, which is ample for arrival-count generation.
+func Poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		// Normal approximation with continuity correction.
+		k := int(math.Round(r.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exponential draws an exponential variate with the given rate (events
+// per unit time). Used for Poisson inter-arrival gaps.
+func Exponential(r *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.ExpFloat64() / rate
+}
+
+// Zipf draws integers in [0, n) following a Zipfian distribution with
+// exponent s > 0. Used for hot-embedding access skew.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for a Zipf(s) distribution over n items.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	z := &Zipf{n: n, cdf: make([]float64, n)}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Draw samples one index.
+func (z *Zipf) Draw(r *rand.Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i
+}
+
+// CumulativeMass returns the probability mass of the first k items —
+// i.e. the fraction of accesses a hot set of size k absorbs.
+func (z *Zipf) CumulativeMass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > z.n {
+		k = z.n
+	}
+	return z.cdf[k-1]
+}

@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.P99() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty sample should answer zeros")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("empty sample Len = %d", s.Len())
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v, want 100", got)
+	}
+	if got := s.P50(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", got)
+	}
+	if got := s.P99(); got < 99 || got > 100 {
+		t.Errorf("P99 = %v, want in [99,100]", got)
+	}
+	if got := s.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+}
+
+func TestSampleSingle(t *testing.T) {
+	s := NewSample(1)
+	s.Add(42)
+	for _, p := range []float64{0, 50, 95, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("P%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	s := NewSample(4)
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.Len() != 0 || s.Sum() != 0 {
+		t.Fatalf("reset did not clear sample")
+	}
+	s.Add(7)
+	if s.Mean() != 7 {
+		t.Fatalf("sample unusable after reset")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := s.Percentile(pp)
+		return v >= s.Min()-1e-12 && v <= s.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(-5)  // clamps to bin 0
+	h.Observe(100) // clamps to last bin
+	h.Observe(5)
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+	if h.Counts[0] != 1 || h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Fatalf("unexpected bins: %v", h.Counts)
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 7)
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		h.Observe(r.Float64())
+	}
+	var sum float64
+	for i := range h.Counts {
+		sum += h.Fraction(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if h.Table() == "" {
+		t.Fatal("Table() should render rows")
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // hi<=lo and bins<=0 are repaired
+	h.Observe(5)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram must still count")
+	}
+}
+
+func TestWelfordMatchesSample(t *testing.T) {
+	r := NewRand(2)
+	s := NewSample(500)
+	var w Welford
+	for i := 0; i < 500; i++ {
+		x := r.NormFloat64()*3 + 10
+		s.Add(x)
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-s.Mean()) > 1e-9 {
+		t.Errorf("welford mean %v vs sample %v", w.Mean(), s.Mean())
+	}
+	if math.Abs(w.StdDev()-s.StdDev()) > 1e-9 {
+		t.Errorf("welford std %v vs sample %v", w.StdDev(), s.StdDev())
+	}
+	if w.N() != 500 {
+		t.Errorf("welford N = %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty welford must report zero variance")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Fatal("ClampInt wrong")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRand(3)
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		var w Welford
+		for i := 0; i < 4000; i++ {
+			w.Add(float64(Poisson(r, lambda)))
+		}
+		if math.Abs(w.Mean()-lambda) > 0.15*lambda+0.2 {
+			t.Errorf("poisson(%v) mean = %v", lambda, w.Mean())
+		}
+	}
+	if Poisson(r, 0) != 0 || Poisson(r, -1) != 0 {
+		t.Error("nonpositive lambda must yield 0")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(4)
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(Exponential(r, 5))
+	}
+	if math.Abs(w.Mean()-0.2) > 0.02 {
+		t.Errorf("exp(rate=5) mean = %v, want 0.2", w.Mean())
+	}
+	if !math.IsInf(Exponential(r, 0), 1) {
+		t.Error("rate 0 must give +Inf gap")
+	}
+}
+
+func TestLognormalPositive(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if Lognormal(r, 1, 0.5) <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.1)
+	r := NewRand(6)
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if z.Draw(r) < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// With s=1.1 the first 10% of items should absorb well over half
+	// of all accesses — that is the skew the hot-embedding partition uses.
+	if frac < 0.55 {
+		t.Errorf("hot fraction = %v, want > 0.55", frac)
+	}
+	if cm := z.CumulativeMass(100); math.Abs(cm-frac) > 0.05 {
+		t.Errorf("cumulative mass %v disagrees with empirical %v", cm, frac)
+	}
+}
+
+func TestZipfMassBounds(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	if z.CumulativeMass(0) != 0 {
+		t.Error("mass(0) must be 0")
+	}
+	if m := z.CumulativeMass(50); math.Abs(m-1) > 1e-9 {
+		t.Errorf("mass(n) = %v, want 1", m)
+	}
+	if m := z.CumulativeMass(100); math.Abs(m-1) > 1e-9 {
+		t.Errorf("mass(>n) = %v, want 1", m)
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	f := func(n uint8, s float64) bool {
+		nn := int(n%200) + 1
+		ss := math.Mod(math.Abs(s), 2) + 0.1
+		z := NewZipf(nn, ss)
+		prev := 0.0
+		for k := 1; k <= nn; k++ {
+			m := z.CumulativeMass(k)
+			if m < prev-1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
