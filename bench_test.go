@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"testing"
 
+	"hercules/internal/cluster"
 	"hercules/internal/experiments"
+	"hercules/internal/fleet"
 )
 
 // printOnce renders the experiment output on the first iteration only.
@@ -232,6 +234,43 @@ func BenchmarkHeadline_HerculesVsGreedy(b *testing.B) {
 		b.ReportMetric(r.CapSaveAvg*100, "capacity_avg_pct_paper_22.8")
 		b.ReportMetric(r.PowerSavePeak*100, "power_peak_pct_paper_23.7")
 		b.ReportMetric(r.PowerSaveAvg*100, "power_avg_pct_paper_9.1")
+	}
+}
+
+// BenchmarkFleetDay locks in the fleet engine's performance target: a
+// single-router replay of a full diurnal day (24 hourly intervals,
+// ~1M routed queries) at cluster scale must complete in seconds. The
+// one-time serving-table calibration runs outside the timer.
+func BenchmarkFleetDay(b *testing.B) {
+	if _, err := experiments.FleetTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day, err := experiments.FleetDay(fleet.PowerOfTwo, cluster.Hercules, experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("fleet day: %d queries, %.1f violation min, %.2f%% drops, %.1f MJ\n",
+				day.TotalQueries, day.SLAViolationMin, day.DropFrac*100, day.EnergyKJ/1e3)
+		}
+		b.ReportMetric(float64(day.TotalQueries), "queries")
+		b.ReportMetric(day.SLAViolationMin, "sla_violation_min")
+		b.ReportMetric(day.DropFrac*100, "drop_pct")
+	}
+}
+
+func BenchmarkFig13Online_FleetReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13Online(experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, r)
+		best := r.Best()
+		b.ReportMetric(best.SLAViolationMin, "best_sla_violation_min")
+		b.ReportMetric(float64(len(r.Rows)), "router_policy_combos")
 	}
 }
 

@@ -1,0 +1,263 @@
+// Command hercules-fleet replays full days of request-level traffic
+// against a provisioned heterogeneous fleet (internal/fleet) and emits
+// a JSON report: for every router × provisioning-policy combination,
+// per-interval p50/p95/p99 latency, SLA-violation minutes, queue
+// drops, energy, and autoscaler activity.
+//
+// Usage:
+//
+//	hercules-fleet [-table table.json] [-models RMC1,RMC2]
+//	               [-fleet small|cpu|default|accelerated]
+//	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
+//	               [-days 1] [-step-min 60] [-peak 0] [-headroom 0.15]
+//	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
+//	               [-shards 0] [-sequential] [-no-autoscale]
+//	               [-seed 42] [-summary] [-pretty]
+//
+// The -table JSON comes from hercules-profile (full Fig. 9b search).
+// Without it, each (model, server type) pair is calibrated on the fly
+// over a small serving-configuration ladder — seconds, not minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hercules/internal/cluster"
+	"hercules/internal/experiments"
+	"hercules/internal/fleet"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+	"hercules/internal/workload"
+)
+
+type report struct {
+	Models   []string           `json:"models"`
+	Fleet    string             `json:"fleet"`
+	Days     int                `json:"days"`
+	StepMin  float64            `json:"step_min"`
+	PeakQPS  map[string]float64 `json:"peak_qps"`
+	Seed     int64              `json:"seed"`
+	ElapsedS float64            `json:"elapsed_s"`
+	Runs     []fleet.DayResult  `json:"runs"`
+}
+
+func main() {
+	var (
+		tableFlag    = flag.String("table", "", "efficiency-table JSON from hercules-profile (default: quick calibration)")
+		modelsFlag   = flag.String("models", "DLRM-RMC1,DLRM-RMC2", "workload models")
+		fleetFlag    = flag.String("fleet", "small", "fleet: small (T2/T3/T7), cpu, default or accelerated")
+		routersFlag  = flag.String("routers", "rr,least,p2c,hetero", "routing policies to replay")
+		policiesFlag = flag.String("policies", "greedy,hercules", "provisioning policies to replay")
+		daysFlag     = flag.Int("days", 1, "days of diurnal load")
+		stepMinFlag  = flag.Float64("step-min", 60, "trace interval in minutes (>= 24 intervals per day at 60)")
+		peakFlag     = flag.Float64("peak", 0, "per-workload peak QPS (0 = auto-size to fleet)")
+		headroomFlag = flag.Float64("headroom", 0.15, "provisioning over-provision rate R")
+		queueFlag    = flag.Int("queue", 32, "per-server bounded queue slots")
+		sliceFlag    = flag.Float64("slice", 8, "sampled traffic slice per interval (seconds)")
+		windowFlag   = flag.Float64("window", 1, "tail observation window (seconds)")
+		maxQFlag     = flag.Int("max-queries", 150000, "replayed-query budget per interval")
+		shardsFlag   = flag.Int("shards", 0, "per-model shard fan-out (0 = NumCPU)")
+		seqFlag      = flag.Bool("sequential", false, "disable the parallel worker pool")
+		noScaleFlag  = flag.Bool("no-autoscale", false, "disable the online autoscaler")
+		seedFlag     = flag.Int64("seed", 42, "deterministic seed")
+		summaryFlag  = flag.Bool("summary", false, "omit per-interval series from the JSON")
+		prettyFlag   = flag.Bool("pretty", false, "indent the JSON output")
+	)
+	flag.Parse()
+
+	fl, err := parseFleet(*fleetFlag)
+	if err != nil {
+		fatal(err)
+	}
+	names := splitModels(*modelsFlag)
+	routers, err := parseRouters(*routersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policies, err := parsePolicies(*policiesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	table, err := loadOrCalibrateTable(*tableFlag, names, fl, *seedFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Build the diurnal day per workload.
+	peaks := make(map[string]float64, len(names))
+	var ws []cluster.Workload
+	for i, name := range names {
+		peak := *peakFlag
+		if peak <= 0 {
+			peak = autoPeak(table, fl, name, len(names))
+		}
+		peaks[name] = peak
+		cfg := workload.DiurnalConfig{
+			Service:    name,
+			PeakQPS:    peak,
+			ValleyFrac: 0.4,
+			PeakHour:   20,
+			Days:       *daysFlag,
+			StepMin:    *stepMinFlag,
+			NoiseStd:   0.02,
+			Seed:       *seedFlag + int64(i),
+		}
+		ws = append(ws, cluster.Workload{Model: name, Trace: workload.Synthesize(cfg)})
+	}
+
+	opts := fleet.DefaultOptions()
+	opts.QueueCap = *queueFlag
+	opts.SliceS = *sliceFlag
+	opts.WindowS = *windowFlag
+	opts.MaxQueriesPerInterval = *maxQFlag
+	opts.Shards = *shardsFlag
+	opts.Sequential = *seqFlag
+	opts.Seed = *seedFlag
+
+	rep := report{
+		Models:  names,
+		Fleet:   *fleetFlag,
+		Days:    *daysFlag,
+		StepMin: *stepMinFlag,
+		PeakQPS: peaks,
+		Seed:    *seedFlag,
+	}
+	start := time.Now()
+	for _, pol := range policies {
+		for _, router := range routers {
+			eng := fleet.NewEngine(fl, table, pol, router, opts)
+			eng.Provisioner.OverProvisionR = *headroomFlag
+			if *noScaleFlag {
+				eng.Scaler = nil
+			}
+			day, err := eng.RunDay(ws)
+			if err != nil {
+				fatal(err)
+			}
+			if *summaryFlag {
+				day.Steps = nil
+			}
+			rep.Runs = append(rep.Runs, day)
+			fmt.Fprintf(os.Stderr, "%s/%s: %.1f violation min, %.2f%% drops, %.1f MJ\n",
+				pol, router, day.SLAViolationMin, day.DropFrac*100, day.EnergyKJ/1e3)
+		}
+	}
+	rep.ElapsedS = time.Since(start).Seconds()
+
+	enc := json.NewEncoder(os.Stdout)
+	if *prettyFlag {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFleet(s string) (hw.Fleet, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		// The Fig. 13-online replay fleet — shared with the experiments
+		// driver so CLI runs stay comparable to the benchmark record.
+		return experiments.FleetFleet(), nil
+	case "default":
+		return hw.DefaultFleet(), nil
+	case "cpu":
+		return hw.CPUOnlyFleet(), nil
+	case "accelerated":
+		return hw.AcceleratedFleet(), nil
+	}
+	return hw.Fleet{}, fmt.Errorf("unknown fleet %q", s)
+}
+
+func splitModels(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if !strings.HasPrefix(name, "DLRM-") && strings.HasPrefix(name, "RMC") {
+			name = "DLRM-" + name
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func parseRouters(s string) ([]fleet.RouterKind, error) {
+	var out []fleet.RouterKind
+	for _, part := range strings.Split(s, ",") {
+		k, err := fleet.ParseRouter(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]cluster.Policy, error) {
+	var out []cluster.Policy
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "nh":
+			out = append(out, cluster.NH)
+		case "greedy":
+			out = append(out, cluster.Greedy)
+		case "priority":
+			out = append(out, cluster.Priority)
+		case "hercules":
+			out = append(out, cluster.Hercules)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", part)
+		}
+	}
+	return out, nil
+}
+
+func loadOrCalibrateTable(path string, names []string, fl hw.Fleet, seed int64) (*profiler.Table, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var entries []profiler.Entry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, err
+		}
+		return profiler.FromEntries(profiler.Hercules, entries), nil
+	}
+	fmt.Fprintln(os.Stderr, "no -table given; calibrating serving configurations (seconds)...")
+	var models []*model.Model
+	for _, name := range names {
+		m, err := model.ByName(name, model.Prod)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return fleet.CalibrateTable(models, fl.Types, seed)
+}
+
+// autoPeak sizes one workload's diurnal peak to ~45% of the fleet's
+// best-case capacity for it, split across the workloads — high enough
+// that stale allocations hurt at the peak, low enough that the fleet
+// is never simply exhausted.
+func autoPeak(table *profiler.Table, fl hw.Fleet, name string, nModels int) float64 {
+	var total float64
+	for i, srv := range fl.Types {
+		if e, ok := table.Get(srv.Type, name); ok && e.QPS > 0 {
+			total += e.QPS * float64(fl.Counts[i])
+		}
+	}
+	return total * 0.45 / float64(nModels)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hercules-fleet:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@
 //   - internal/profiler   — offline profiling (the Fig. 9b efficiency table)
 //   - internal/lp         — two-phase simplex solver
 //   - internal/cluster    — online heterogeneity-aware provisioning
+//   - internal/fleet      — request-level fleet replay: routing, queues, autoscaling
 //   - internal/experiments — one driver per paper table/figure
 //
 // The benchmark harness in bench_test.go regenerates every table and

@@ -1,0 +1,104 @@
+// Fleet routing: what happens to individual queries *between* the
+// cluster manager's re-provisioning intervals. The cluster layer
+// (examples/cluster_diurnal) sizes the fleet from aggregate capacities;
+// this walkthrough replays every query of a diurnal day through
+// internal/fleet and shows that the routing policy — invisible to the
+// aggregate model — decides whether the provisioned fleet actually
+// meets its SLA. It calibrates a serving table for RMC1+RMC2 on T2
+// (CPU), T3 (NMP) and T7 (GPU) servers (seconds, not the full Fig. 9b
+// search), provisions the day with the Hercules LP policy, replays
+// ~2.5M queries under each of the four routers, and finally re-runs
+// round robin without the autoscaler to isolate the autoscaler's value.
+//
+//	go run ./examples/fleet_routing
+//
+// Expected runtime: well under a minute.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hercules/internal/cluster"
+	"hercules/internal/fleet"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/workload"
+)
+
+func main() {
+	models := []*model.Model{model.DLRMRMC1(model.Prod), model.DLRMRMC2(model.Prod)}
+	fl := hw.Fleet{
+		Types:  []hw.Server{hw.ServerType("T2"), hw.ServerType("T3"), hw.ServerType("T7")},
+		Counts: []int{60, 12, 4},
+	}
+
+	fmt.Fprintln(os.Stderr, "calibrating serving configurations (2 models x 3 server types)...")
+	start := time.Now()
+	table, err := fleet.CalibrateTable(models, fl.Types, 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet_routing:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "calibrated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("serving table (best candidate configuration per pair):")
+	fmt.Print(table.Format([]string{"DLRM-RMC1", "DLRM-RMC2"}))
+
+	// One day of synchronized diurnal load, hourly provisioning
+	// intervals, peaks at ~45% of each model's fleet-wide capacity.
+	var ws []cluster.Workload
+	for i, m := range models {
+		var capQPS float64
+		for j, srv := range fl.Types {
+			capQPS += table.MustGet(srv.Type, m.Name).QPS * float64(fl.Counts[j])
+		}
+		cfg := workload.DiurnalConfig{
+			Service: m.Name, PeakQPS: capQPS * 0.45 / float64(len(models)),
+			ValleyFrac: 0.4, PeakHour: 20, Days: 1, StepMin: 60,
+			NoiseStd: 0.02, Seed: 42 + int64(i),
+		}
+		ws = append(ws, cluster.Workload{Model: m.Name, Trace: workload.Synthesize(cfg)})
+	}
+
+	run := func(router fleet.RouterKind, autoscale bool) fleet.DayResult {
+		opts := fleet.DefaultOptions()
+		opts.MaxQueriesPerInterval = 60000
+		eng := fleet.NewEngine(fl, table, cluster.Hercules, router, opts)
+		eng.Provisioner.OverProvisionR = 0.15
+		if !autoscale {
+			eng.Scaler = nil
+		}
+		day, err := eng.RunDay(ws)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet_routing:", err)
+			os.Exit(1)
+		}
+		return day
+	}
+
+	fmt.Printf("\nreplaying one day per router (hercules provisioning, hourly intervals):\n\n")
+	fmt.Printf("%-8s %14s %9s %12s %11s %10s %10s\n",
+		"router", "sla_viol_min", "drop_pct", "mean_p95_ms", "max_p99_ms", "energy_MJ", "autoscale")
+	var rr fleet.DayResult
+	for _, k := range fleet.AllRouters {
+		day := run(k, true)
+		if k == fleet.RoundRobin {
+			rr = day
+		}
+		fmt.Printf("%-8s %14.1f %9.2f %12.1f %11.1f %10.1f %10d\n",
+			day.Router, day.SLAViolationMin, day.DropFrac*100,
+			day.MeanP95MS, day.MaxP99MS, day.EnergyKJ/1e3, day.AutoscaleEvents)
+	}
+
+	fmt.Println("\nstate-aware routers (least/p2c/hetero) see per-server queue depth;")
+	fmt.Println("round robin splits load evenly across servers whose capacities differ")
+	fmt.Println("by an order of magnitude, so the slowest type sets the fleet tail.")
+
+	noScale := run(fleet.RoundRobin, false)
+	fmt.Printf("\nautoscaler value under round robin: %.0f violation min with it, %.0f without\n",
+		rr.SLAViolationMin, noScale.SLAViolationMin)
+	fmt.Printf("(the autoscaler re-provisioned early %d times to rescue the bad router)\n",
+		rr.EarlyReprovisions)
+}

@@ -1,0 +1,3 @@
+module hercules
+
+go 1.24

@@ -164,8 +164,10 @@ func (p *Provisioner) finishStep(alloc Allocation, target map[string]float64) St
 		TargetQPS: target,
 		Satisfied: true,
 	}
-	for h, row := range alloc {
-		for m, n := range row {
+	for _, h := range sortedKeys(alloc) {
+		row := alloc[h]
+		for _, m := range sortedKeys(row) {
+			n := row[m]
 			e := p.Table.MustGet(h, m)
 			res.ServedQPS[m] += float64(n) * e.QPS
 			res.ProvisionedPowerW += float64(n) * e.PowerW
@@ -180,14 +182,22 @@ func (p *Provisioner) finishStep(alloc Allocation, target map[string]float64) St
 	return res
 }
 
-// modelNames returns the workload names sorted for determinism.
-func modelNames(target map[string]float64) []string {
-	out := make([]string, 0, len(target))
-	for m := range target {
-		out = append(out, m)
+// sortedKeys returns a string-keyed map's keys in sorted order: float
+// accumulation and tie-breaking must never depend on map iteration, or
+// identical seeds produce allocations that differ by one ULP's worth
+// of decision.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// modelNames returns the workload names sorted for determinism.
+func modelNames(target map[string]float64) []string {
+	return sortedKeys(target)
 }
 
 // allocNH randomly assigns available servers until each load is met,
@@ -512,17 +522,19 @@ func copyTarget(target map[string]float64) map[string]float64 {
 func betterAlloc(p *Provisioner, a, b Allocation, target map[string]float64) bool {
 	power := func(al Allocation) (watts float64, servers int, unmet float64) {
 		served := make(map[string]float64)
-		for h, row := range al {
-			for m, n := range row {
+		for _, h := range sortedKeys(al) {
+			row := al[h]
+			for _, m := range sortedKeys(row) {
+				n := row[m]
 				e := p.Table.MustGet(h, m)
 				watts += float64(n) * e.PowerW
 				servers += n
 				served[m] += float64(n) * e.QPS
 			}
 		}
-		for m, t := range target {
-			if served[m] < t {
-				unmet += t - served[m]
+		for _, m := range modelNames(target) {
+			if served[m] < target[m] {
+				unmet += target[m] - served[m]
 			}
 		}
 		return watts, servers, unmet
@@ -543,18 +555,20 @@ func betterAlloc(p *Provisioner, a, b Allocation, target map[string]float64) boo
 // The most power-hungry redundancy goes first.
 func (p *Provisioner) trim(alloc Allocation, target map[string]float64) {
 	served := make(map[string]float64)
-	for h, row := range alloc {
-		for m, n := range row {
+	for _, h := range sortedKeys(alloc) {
+		row := alloc[h]
+		for _, m := range sortedKeys(row) {
 			e := p.Table.MustGet(h, m)
-			served[m] += float64(n) * e.QPS
+			served[m] += float64(row[m]) * e.QPS
 		}
 	}
-	for m, t := range target {
+	for _, m := range modelNames(target) {
+		t := target[m]
 		for {
 			bestH := ""
 			bestPower := 0.0
-			for h, row := range alloc {
-				n := row[m]
+			for _, h := range sortedKeys(alloc) {
+				n := alloc[h][m]
 				if n <= 0 {
 					continue
 				}

@@ -1,0 +1,79 @@
+package fleet
+
+// Autoscaler watches windowed tail latency during the replay and
+// triggers early re-provisioning when the fleet falls behind. Hercules
+// re-provisions on a coarse schedule (tens of minutes) to amortize
+// workload setup; the autoscaler closes the gap the paper leaves open:
+// load that outruns the over-provision headroom *between* scheduled
+// intervals. When Patience consecutive observation windows breach the
+// SLA (tail > SLAFactor × the model's target, or any query dropped),
+// the engine re-provisions at the next interval boundary with the
+// over-provision rate boosted by BoostR; the boost decays after
+// HoldIntervals quiet intervals.
+type Autoscaler struct {
+	// TailPct selects the observed tail point (95 or 99; default 95,
+	// matching the paper's latency-bounded-throughput SLA tail).
+	TailPct float64
+	// SLAFactor scales the model SLA into the breach threshold
+	// (default 1.0: any windowed tail above the SLA counts).
+	SLAFactor float64
+	// Patience is the number of consecutive breached windows required
+	// to trigger (default 2 — one bad window can be sampling noise).
+	Patience int
+	// BoostR is the extra over-provision headroom applied while
+	// boosted (default 0.25).
+	BoostR float64
+	// HoldIntervals is how many intervals a boost lasts (default 4).
+	HoldIntervals int
+
+	streak    int
+	boostLeft int
+	pending   bool
+	// Events counts trigger firings over the run.
+	Events int
+}
+
+// NewAutoscaler returns an autoscaler with the default tuning.
+func NewAutoscaler() *Autoscaler {
+	return &Autoscaler{TailPct: 95, SLAFactor: 1.0, Patience: 2, BoostR: 0.25, HoldIntervals: 4}
+}
+
+// ObserveWindow feeds one observation window's breach verdict, in
+// virtual-time order.
+func (a *Autoscaler) ObserveWindow(breached bool) {
+	if a == nil {
+		return
+	}
+	if !breached {
+		a.streak = 0
+		return
+	}
+	a.streak++
+	if a.streak >= a.Patience && !a.pending {
+		a.pending = true
+		a.Events++
+	}
+}
+
+// IntervalEnd advances the autoscaler one re-provisioning interval and
+// reports whether the engine must re-provision early at the next
+// boundary, plus the extra over-provision headroom currently in force.
+func (a *Autoscaler) IntervalEnd() (early bool, extraR float64) {
+	if a == nil {
+		return false, 0
+	}
+	if a.pending {
+		a.pending = false
+		a.streak = 0
+		a.boostLeft = a.HoldIntervals
+		return true, a.BoostR
+	}
+	if a.boostLeft > 0 {
+		a.boostLeft--
+		return false, a.BoostR
+	}
+	return false, 0
+}
+
+// Boosted reports whether the boost headroom is currently in force.
+func (a *Autoscaler) Boosted() bool { return a != nil && a.boostLeft > 0 }

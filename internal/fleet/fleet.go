@@ -1,0 +1,592 @@
+// Package fleet is the request-level serving layer between the
+// per-server simulator (internal/sim) and interval-level provisioning
+// (internal/cluster): a discrete-event fleet engine that replays a
+// diurnal day of Poisson query arrivals against the heterogeneous
+// server fleet a cluster policy activates, with per-query routing,
+// bounded per-server queues, windowed tail-latency tracking and an
+// online autoscaler.
+//
+// The cluster layer answers "how many servers of each type does each
+// workload need this interval?" from aggregate capacities; this
+// package answers what actually happens to individual queries between
+// re-provisioning decisions — queueing, load imbalance across a
+// heterogeneous fleet, drops, and SLA-violation minutes — which
+// aggregate-capacity models systematically hide.
+//
+// Per-query service times come from the existing internal/sim cost
+// model via SimService; nothing here re-implements server timing. Each
+// activated server is an M/G/c/(c+K) queue whose concurrency c is
+// calibrated so saturation throughput matches the profiled
+// latency-bounded QPS of its (server type, model) pair.
+//
+// Replay is sampled: each trace interval simulates a slice of traffic
+// at the interval's full arrival rate (long enough for stable tail
+// estimates, capped by Options.MaxQueriesPerInterval) and extrapolates
+// interval metrics from the slice. The parallel path shards each
+// model's instances and query stream across a runtime.NumCPU()-sized
+// worker pool; shard assignment is drawn deterministically, so
+// parallel and sequential replays produce identical results.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hercules/internal/cluster"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+	"hercules/internal/stats"
+	"hercules/internal/workload"
+)
+
+// Options tunes the replay engine.
+type Options struct {
+	// QueueCap is the bounded per-instance dispatch queue (waiting
+	// slots behind the in-service queries).
+	QueueCap int
+	// SliceS is the sampled traffic slice simulated per trace interval.
+	SliceS float64
+	// WindowS is the tail-observation window within a slice (the
+	// autoscaler's and the SLA-violation metric's granularity).
+	WindowS float64
+	// ReprovisionEvery is the scheduled re-provisioning period in trace
+	// intervals (the paper re-provisions at coarse intervals to
+	// amortize workload setup).
+	ReprovisionEvery int
+	// MaxQueriesPerInterval bounds one interval's replayed queries; the
+	// slice shrinks when the offered load would exceed it.
+	MaxQueriesPerInterval int
+	// Shards caps the per-model shard fan-out (0 = runtime.NumCPU()).
+	Shards int
+	// Sequential disables the worker pool (results are identical; the
+	// flag exists for debugging and benchmarking the parallel path).
+	Sequential bool
+	// Seed drives all replay randomness.
+	Seed int64
+}
+
+// DefaultOptions returns the tuning used by the experiments: 8-second
+// slices observed in 1-second windows, hourly scheduled re-provisioning
+// on 15-minute traces.
+func DefaultOptions() Options {
+	return Options{
+		QueueCap:              32,
+		SliceS:                8,
+		WindowS:               1,
+		ReprovisionEvery:      4,
+		MaxQueriesPerInterval: 150000,
+		Seed:                  42,
+	}
+}
+
+// Engine replays days of traffic against a provisioned fleet.
+type Engine struct {
+	Fleet       hw.Fleet
+	Table       *profiler.Table
+	Provisioner *cluster.Provisioner
+	Router      RouterKind
+	Service     ServiceSource
+	// Scaler is the online autoscaler; nil disables early
+	// re-provisioning (scheduled intervals only).
+	Scaler *Autoscaler
+	Opts   Options
+
+	models    map[string]*model.Model
+	meanSvc   map[pairKey]float64
+	idleW     map[string]float64
+	instSeq   int
+	baseOverR float64
+}
+
+// NewEngine assembles an engine with the default SimService source and
+// autoscaler. The provisioner is built fresh for the given policy so
+// runs with different routers do not share arbitration RNG state.
+func NewEngine(fleet hw.Fleet, table *profiler.Table, policy cluster.Policy, router RouterKind, opts Options) *Engine {
+	return &Engine{
+		Fleet:       fleet,
+		Table:       table,
+		Provisioner: cluster.NewProvisioner(fleet, table, policy, opts.Seed),
+		Router:      router,
+		Service:     NewSimService(table),
+		Scaler:      NewAutoscaler(),
+		Opts:        opts,
+	}
+}
+
+// IntervalStats records one trace interval of the replay.
+type IntervalStats struct {
+	Index      int     `json:"index"`
+	TimeH      float64 `json:"time_h"`
+	OfferedQPS float64 `json:"offered_qps"`
+	Queries    int     `json:"queries"`
+	Drops      int     `json:"drops"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	// ModelP95MS / ModelP99MS are per-model windowless tails.
+	ModelP95MS map[string]float64 `json:"model_p95_ms"`
+	ModelP99MS map[string]float64 `json:"model_p99_ms"`
+	// ViolationMin extrapolates breached observation windows to
+	// wall-clock minutes of SLA violation in this interval.
+	ViolationMin    float64 `json:"violation_min"`
+	WindowsBreached int     `json:"windows_breached"`
+	Windows         int     `json:"windows"`
+	ActiveServers   int     `json:"active_servers"`
+	ProvisionedKW   float64 `json:"provisioned_kw"`
+	// EnergyKJ is measured energy (idle + utilization-proportional
+	// dynamic power over the interval); ProvisionedEnergyKJ integrates
+	// the provisioned budget the cluster layer reports.
+	EnergyKJ            float64 `json:"energy_kj"`
+	ProvisionedEnergyKJ float64 `json:"provisioned_energy_kj"`
+	Reprovisioned       bool    `json:"reprovisioned"`
+	EarlyReprovision    bool    `json:"early_reprovision"`
+	Boosted             bool    `json:"boosted"`
+}
+
+// DayResult aggregates a full replay.
+type DayResult struct {
+	Router string          `json:"router"`
+	Policy string          `json:"policy"`
+	Steps  []IntervalStats `json:"intervals"`
+
+	TotalQueries        int     `json:"total_queries"`
+	TotalDrops          int     `json:"total_drops"`
+	DropFrac            float64 `json:"drop_frac"`
+	SLAViolationMin     float64 `json:"sla_violation_min"`
+	MeanP95MS           float64 `json:"mean_p95_ms"`
+	MaxP95MS            float64 `json:"max_p95_ms"`
+	MeanP99MS           float64 `json:"mean_p99_ms"`
+	MaxP99MS            float64 `json:"max_p99_ms"`
+	EnergyKJ            float64 `json:"energy_kj"`
+	ProvisionedEnergyKJ float64 `json:"provisioned_energy_kj"`
+	Reprovisions        int     `json:"reprovisions"`
+	EarlyReprovisions   int     `json:"early_reprovisions"`
+	AutoscaleEvents     int     `json:"autoscale_events"`
+}
+
+// RunDay replays the workloads' aligned diurnal traces end to end and
+// returns per-interval and aggregate serving metrics.
+func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
+	res := DayResult{Router: e.Router.String(), Policy: e.Provisioner.Kind.String()}
+	if len(ws) == 0 {
+		return res, fmt.Errorf("fleet: no workloads")
+	}
+	if e.Service == nil {
+		e.Service = NewSimService(e.Table)
+	}
+	e.models = make(map[string]*model.Model, len(ws))
+	for _, w := range ws {
+		m, err := model.ByName(w.Model, model.Prod)
+		if err != nil {
+			return res, fmt.Errorf("fleet: %w", err)
+		}
+		e.models[w.Model] = m
+	}
+	e.meanSvc = make(map[pairKey]float64)
+	e.idleW = make(map[string]float64)
+	e.baseOverR = e.Provisioner.OverProvisionR
+
+	steps := ws[0].Trace.Steps()
+	for _, w := range ws[1:] {
+		steps = min(steps, w.Trace.Steps())
+	}
+	if steps == 0 {
+		return res, fmt.Errorf("fleet: empty traces")
+	}
+	stepS := ws[0].Trace.StepS
+	every := max(e.Opts.ReprovisionEvery, 1)
+
+	var insts map[string][]*Instance
+	var active cluster.StepResult
+	earlyPending := false
+	extraR := 0.0
+	for i := 0; i < steps; i++ {
+		loads := make(map[string]float64, len(ws))
+		for _, w := range ws {
+			loads[w.Model] += w.Trace.LoadsQPS[i]
+		}
+		scheduled := i%every == 0
+		reprovision := i == 0 || scheduled || earlyPending
+		if reprovision {
+			e.Provisioner.OverProvisionR = e.baseOverR + extraR
+			active = e.Provisioner.Step(loads)
+			insts = e.buildInstances(active.Alloc)
+			res.Reprovisions++
+			if earlyPending && !scheduled {
+				res.EarlyReprovisions++
+			}
+		}
+
+		ist := e.replayInterval(i, stepS, loads, insts)
+		ist.Reprovisioned = reprovision
+		ist.EarlyReprovision = reprovision && earlyPending && !scheduled
+		ist.Boosted = e.Scaler.Boosted() || extraR > 0
+		ist.ActiveServers = active.ActiveServers
+		ist.ProvisionedKW = active.ProvisionedPowerW / 1e3
+		ist.ProvisionedEnergyKJ = active.ProvisionedPowerW * stepS / 1e3
+		res.Steps = append(res.Steps, ist)
+
+		earlyPending, extraR = e.Scaler.IntervalEnd()
+
+		res.TotalQueries += ist.Queries
+		res.TotalDrops += ist.Drops
+		res.SLAViolationMin += ist.ViolationMin
+		res.EnergyKJ += ist.EnergyKJ
+		res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
+		res.MeanP95MS += ist.P95MS
+		res.MeanP99MS += ist.P99MS
+		res.MaxP95MS = math.Max(res.MaxP95MS, ist.P95MS)
+		res.MaxP99MS = math.Max(res.MaxP99MS, ist.P99MS)
+	}
+	res.MeanP95MS /= float64(steps)
+	res.MeanP99MS /= float64(steps)
+	if res.TotalQueries > 0 {
+		res.DropFrac = float64(res.TotalDrops) / float64(res.TotalQueries)
+	}
+	if e.Scaler != nil {
+		res.AutoscaleEvents = e.Scaler.Events
+	}
+	e.Provisioner.OverProvisionR = e.baseOverR
+	return res, nil
+}
+
+// buildInstances turns an allocation into per-model instance pools
+// with deterministic IDs (types and models visited in sorted order).
+func (e *Engine) buildInstances(alloc cluster.Allocation) map[string][]*Instance {
+	out := make(map[string][]*Instance)
+	types := make([]string, 0, len(alloc))
+	for h := range alloc {
+		types = append(types, h)
+	}
+	sort.Strings(types)
+	e.instSeq = 0
+	for _, h := range types {
+		row := alloc[h]
+		names := make([]string, 0, len(row))
+		for m := range row {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			entry, ok := e.Table.Get(h, m)
+			if !ok || entry.QPS <= 0 || row[m] <= 0 {
+				continue
+			}
+			conc := e.concurrency(h, m, entry.QPS)
+			for k := 0; k < row[m]; k++ {
+				ht, mt := h, m
+				in := NewInstance(e.instSeq, h, m, entry.QPS, conc, e.Opts.QueueCap,
+					func(size int, scale float64) float64 {
+						return e.Service.ServiceS(ht, mt, size, scale)
+					})
+				out[m] = append(out[m], in)
+				e.instSeq++
+			}
+		}
+	}
+	return out
+}
+
+// concurrency calibrates an instance's service channels so that its
+// saturation throughput (c / E[service]) matches the profiled
+// latency-bounded capacity of the pair.
+func (e *Engine) concurrency(serverType, modelName string, qps float64) int {
+	k := pairKey{serverType, modelName}
+	mean, ok := e.meanSvc[k]
+	if !ok {
+		// Seed from the pair's identity, not discovery order: the same
+		// (type, model) must calibrate identically regardless of which
+		// allocation introduced it first.
+		mean = meanServiceS(e.Service, serverType, modelName,
+			mixSeed(e.Opts.Seed, 0x5eed, hashString(serverType), hashString(modelName)))
+		e.meanSvc[k] = mean
+	}
+	if math.IsInf(mean, 0) || mean <= 0 || qps <= 0 {
+		return 1
+	}
+	// Ceil, not round: the profiler certified the pair sustains qps
+	// under its SLA, so the queue model must not undershoot it — with
+	// small channel counts, rounding down would hide up to 1/(2c) of
+	// certified capacity and fabricate breaches.
+	return stats.ClampInt(int(math.Ceil(qps*mean)), 1, 256)
+}
+
+// idleWatts caches the idle power of a server type.
+func (e *Engine) idleWatts(serverType string) float64 {
+	if w, ok := e.idleW[serverType]; ok {
+		return w
+	}
+	w := 0.0
+	if srv, err := serverByType(serverType); err == nil {
+		w = srv.IdleWatts()
+	}
+	e.idleW[serverType] = w
+	return w
+}
+
+// shardWork is one (model, shard) replay task: a disjoint slice of the
+// model's instances plus the queries deterministically thinned onto it.
+type shardWork struct {
+	modelName string
+	slaMS     float64
+	insts     []*Instance
+	queries   []workload.Query
+
+	kind    RouterKind
+	seed    int64
+	windowW float64
+	windows int
+
+	// outputs
+	winLatS  [][]float64 // per-window latency samples (seconds)
+	winDrops []int
+	dropped  int
+}
+
+func (w *shardWork) run() {
+	router := w.kind.New()
+	rng := stats.NewRand(w.seed)
+	w.winLatS = make([][]float64, w.windows)
+	w.winDrops = make([]int, w.windows)
+	for _, in := range w.insts {
+		in.Reset()
+	}
+	for _, q := range w.queries {
+		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		if len(w.insts) == 0 {
+			w.dropped++
+			w.winDrops[wi]++
+			continue
+		}
+		pick := router.Pick(w.insts, q.ArrivalS, rng)
+		done, drop := w.insts[pick].Arrive(q.ArrivalS, q.Size, q.SparseScale)
+		if drop {
+			w.dropped++
+			w.winDrops[wi]++
+			continue
+		}
+		w.winLatS[wi] = append(w.winLatS[wi], done-q.ArrivalS)
+	}
+}
+
+// replayInterval simulates one interval's sampled slice and
+// extrapolates interval metrics.
+func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64, insts map[string][]*Instance) IntervalStats {
+	ist := IntervalStats{
+		Index:      idx,
+		TimeH:      float64(idx) * stepS / 3600,
+		ModelP95MS: make(map[string]float64),
+		ModelP99MS: make(map[string]float64),
+	}
+	var totalLoad float64
+	names := make([]string, 0, len(loads))
+	for m, l := range loads {
+		totalLoad += l
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	ist.OfferedQPS = totalLoad
+	if totalLoad <= 0 {
+		return ist
+	}
+
+	// Size the slice: full offered rate, bounded total queries.
+	sliceS := e.Opts.SliceS
+	if budget := float64(e.Opts.MaxQueriesPerInterval); budget > 0 && totalLoad*sliceS > budget {
+		sliceS = budget / totalLoad
+	}
+	windows := stats.ClampInt(int(sliceS/e.Opts.WindowS), 2, 600)
+	windowW := sliceS / float64(windows)
+	ist.Windows = windows
+
+	// Build shard tasks: queries are generated sequentially per model
+	// and thinned onto shards by deterministic draws, which preserves
+	// the Poisson property per shard and makes parallel replay
+	// bit-identical to sequential replay.
+	shardCap := e.Opts.Shards
+	if shardCap <= 0 {
+		shardCap = runtime.NumCPU()
+	}
+	var tasks []*shardWork
+	perModel := make(map[string][]*shardWork, len(names))
+	for mi, m := range names {
+		pool := insts[m]
+		sla := e.models[m].SLATargetMS
+		n := max(min(shardCap, len(pool)), 1)
+		shards := make([]*shardWork, n)
+		for s := 0; s < n; s++ {
+			shards[s] = &shardWork{
+				modelName: m,
+				slaMS:     sla,
+				kind:      e.Router,
+				seed:      mixSeed(e.Opts.Seed, int64(idx), int64(mi)<<8|int64(s)),
+				windowW:   windowW,
+				windows:   windows,
+			}
+		}
+		for j, in := range pool {
+			shards[j%n].insts = append(shards[j%n].insts, in)
+		}
+		gen := workload.NewGenerator(e.models[m], loads[m], mixSeed(e.Opts.Seed, 0x9e37+int64(idx), int64(mi)))
+		split := stats.NewRand(mixSeed(e.Opts.Seed, 0x517+int64(idx), int64(mi)))
+		for _, q := range gen.Until(sliceS) {
+			s := 0
+			if n > 1 {
+				s = split.Intn(n)
+			}
+			shards[s].queries = append(shards[s].queries, q)
+		}
+		perModel[m] = shards
+		tasks = append(tasks, shards...)
+	}
+
+	// Execute: worker pool over shards, or in place when sequential.
+	if e.Opts.Sequential || len(tasks) == 1 {
+		for _, t := range tasks {
+			t.run()
+		}
+	} else {
+		work := make(chan *shardWork)
+		var wg sync.WaitGroup
+		for w := 0; w < min(runtime.NumCPU(), len(tasks)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range work {
+					t.run()
+				}
+			}()
+		}
+		for _, t := range tasks {
+			work <- t
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Merge: per-model windowed tails drive breach verdicts; the
+	// aggregate distribution drives the interval percentiles.
+	tailPct, slaFactor := 95.0, 1.0
+	if e.Scaler != nil {
+		if e.Scaler.TailPct > 0 {
+			tailPct = e.Scaler.TailPct
+		}
+		if e.Scaler.SLAFactor > 0 {
+			slaFactor = e.Scaler.SLAFactor
+		}
+	}
+	breached := make([]bool, windows)
+	all := stats.NewSample(1024)
+	for _, m := range names {
+		shards := perModel[m]
+		sla := e.models[m].SLATargetMS
+		mSample := stats.NewSample(1024)
+		for w := 0; w < windows; w++ {
+			win := stats.NewSample(64)
+			drops := 0
+			for _, sh := range shards {
+				for _, l := range sh.winLatS[w] {
+					win.Add(l * 1e3)
+					mSample.Add(l * 1e3)
+					all.Add(l * 1e3)
+				}
+				drops += sh.winDrops[w]
+			}
+			if drops > 0 || (win.Len() > 0 && win.Percentile(tailPct) > sla*slaFactor) {
+				breached[w] = true
+			}
+		}
+		for _, sh := range shards {
+			ist.Queries += len(sh.queries)
+			ist.Drops += sh.dropped
+		}
+		ist.ModelP95MS[m] = mSample.P95()
+		ist.ModelP99MS[m] = mSample.P99()
+	}
+	ist.P50MS, ist.P95MS, ist.P99MS = all.P50(), all.P95(), all.P99()
+	for _, b := range breached {
+		if b {
+			ist.WindowsBreached++
+		}
+		e.Scaler.ObserveWindow(b)
+	}
+	ist.ViolationMin = stepS / 60 * float64(ist.WindowsBreached) / float64(windows)
+
+	// Energy: every activated instance idles for the whole interval and
+	// adds utilization-proportional dynamic power up to its profiled
+	// provisioned budget.
+	var watts float64
+	for _, m := range names {
+		for _, in := range insts[m] {
+			idle := e.idleWatts(in.Type)
+			peak := idle
+			if entry, ok := e.Table.Get(in.Type, in.Model); ok {
+				peak = math.Max(entry.PowerW, idle)
+			}
+			watts += idle + (peak-idle)*in.Utilization(sliceS)
+		}
+	}
+	ist.EnergyKJ = watts * stepS / 1e3
+	return ist
+}
+
+// SliceResult is ReplaySlice's accounting.
+type SliceResult struct {
+	LatS    []float64 // per-admitted-query latency, arrival order
+	Served  int
+	Dropped int
+}
+
+// ReplaySlice routes one query stream (in arrival order) over the
+// given instances with a fresh router of the given kind — the
+// single-shard building block RunDay composes, exported for tests and
+// tools that want router behavior without provisioning.
+func ReplaySlice(kind RouterKind, insts []*Instance, queries []workload.Query, seed int64) SliceResult {
+	router := kind.New()
+	rng := stats.NewRand(seed)
+	var res SliceResult
+	for _, in := range insts {
+		in.Reset()
+	}
+	for _, q := range queries {
+		if len(insts) == 0 {
+			res.Dropped++
+			continue
+		}
+		pick := router.Pick(insts, q.ArrivalS, rng)
+		done, drop := insts[pick].Arrive(q.ArrivalS, q.Size, q.SparseScale)
+		if drop {
+			res.Dropped++
+			continue
+		}
+		res.Served++
+		res.LatS = append(res.LatS, done-q.ArrivalS)
+	}
+	return res
+}
+
+// hashString folds a string into a seed component (FNV-1a).
+func hashString(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h >> 1)
+}
+
+// mixSeed derives a deterministic sub-seed (splitmix64-style) so
+// intervals, models and shards draw from independent streams.
+func mixSeed(seed int64, vals ...int64) int64 {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range vals {
+		h ^= uint64(v) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+	}
+	return int64(h >> 1)
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Instance is one activated server in the fleet: an M/G/c/(c+K) queue
+// whose per-query service times come from a ServiceSource. Concurrency
+// c models the server's co-located inference threads (calibrated so
+// saturation throughput matches the profiled latency-bounded QPS), and
+// K is the bounded dispatch queue; arrivals beyond c+K outstanding
+// queries are dropped.
+//
+// Instances are not safe for concurrent use; the engine gives each
+// replay shard exclusive ownership of its instances.
+type Instance struct {
+	ID    int
+	Type  string // server type label ("T1".."T10")
+	Model string // model the server is provisioned for
+	// Weight is the profiled latency-bounded capacity (QPS) of this
+	// (type, model) pair — the heterogeneity-aware router's signal.
+	Weight float64
+	// Concurrency is the number of queries the server works on at once.
+	Concurrency int
+	// QueueCap is the number of waiting slots behind the in-service
+	// queries; 0 means no waiting room (pure loss system).
+	QueueCap int
+
+	svc func(size int, scale float64) float64
+
+	// Virtual-time state for one replay slice.
+	free  []float64 // per-channel next-free instants
+	comps compHeap  // completion times of outstanding queries
+	busyS float64   // accumulated channel-seconds of service
+	// Served/Dropped count this slice's admissions and rejections.
+	Served, Dropped int
+}
+
+// NewInstance builds an instance with the given service-time function.
+func NewInstance(id int, serverType, modelName string, weight float64, concurrency, queueCap int, svc func(size int, scale float64) float64) *Instance {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &Instance{
+		ID:          id,
+		Type:        serverType,
+		Model:       modelName,
+		Weight:      weight,
+		Concurrency: concurrency,
+		QueueCap:    queueCap,
+		svc:         svc,
+		free:        make([]float64, concurrency),
+	}
+}
+
+// Reset clears the virtual-time state for a new replay slice.
+func (in *Instance) Reset() {
+	for i := range in.free {
+		in.free[i] = 0
+	}
+	in.comps = in.comps[:0]
+	in.busyS = 0
+	in.Served, in.Dropped = 0, 0
+}
+
+// Outstanding returns the number of admitted queries not yet complete
+// at the given instant.
+func (in *Instance) Outstanding(now float64) int {
+	for len(in.comps) > 0 && in.comps[0] <= now {
+		heap.Pop(&in.comps)
+	}
+	return len(in.comps)
+}
+
+// Utilization returns the mean busy fraction of the instance's service
+// channels over a slice of the given length.
+func (in *Instance) Utilization(sliceS float64) float64 {
+	if sliceS <= 0 || in.Concurrency == 0 {
+		return 0
+	}
+	return math.Min(in.busyS/(float64(in.Concurrency)*sliceS), 1)
+}
+
+// Arrive offers one query (service keyed by size and scale) at time
+// now. It returns the query's completion time and false, or 0 and true
+// when the bounded queue rejects it.
+func (in *Instance) Arrive(now float64, size int, scale float64) (doneAt float64, dropped bool) {
+	if in.Outstanding(now) >= in.Concurrency+in.QueueCap {
+		in.Dropped++
+		return 0, true
+	}
+	s := in.svc(size, scale)
+	if math.IsInf(s, 0) || s <= 0 {
+		in.Dropped++
+		return 0, true
+	}
+	// Earliest-free channel, non-preemptive FCFS.
+	ch := 0
+	for i := 1; i < len(in.free); i++ {
+		if in.free[i] < in.free[ch] {
+			ch = i
+		}
+	}
+	start := math.Max(now, in.free[ch])
+	done := start + s
+	in.free[ch] = done
+	in.busyS += s
+	heap.Push(&in.comps, done)
+	in.Served++
+	return done, false
+}
+
+// compHeap is a min-heap of completion instants.
+type compHeap []float64
+
+func (h compHeap) Len() int           { return len(h) }
+func (h compHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h compHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *compHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *compHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RouterKind selects a per-query routing policy. A fresh Router (with
+// its own mutable state) is instantiated per replay shard via New.
+type RouterKind int
+
+// Routing policies.
+const (
+	// RoundRobin cycles through the model's instances regardless of
+	// state — the heterogeneity- and load-oblivious baseline.
+	RoundRobin RouterKind = iota
+	// LeastOutstanding picks the instance with the fewest outstanding
+	// queries (full scan; the classic least-connections balancer).
+	LeastOutstanding
+	// PowerOfTwo samples two random instances and keeps the one with
+	// fewer outstanding queries (Mitzenmacher's power of two choices):
+	// nearly least-outstanding tails at O(1) cost.
+	PowerOfTwo
+	// WeightedHetero is the heterogeneity-aware policy: it minimizes
+	// (outstanding+1)/weight where weight is the profiled capacity QPS
+	// of the instance's (server type, model) pair, so a V100 server
+	// legitimately holds many more in-flight queries than a small CPU
+	// node before it is considered loaded.
+	WeightedHetero
+)
+
+// AllRouters lists every routing policy in presentation order.
+var AllRouters = []RouterKind{RoundRobin, LeastOutstanding, PowerOfTwo, WeightedHetero}
+
+// String implements fmt.Stringer.
+func (k RouterKind) String() string {
+	switch k {
+	case RoundRobin:
+		return "rr"
+	case LeastOutstanding:
+		return "least"
+	case PowerOfTwo:
+		return "p2c"
+	case WeightedHetero:
+		return "hetero"
+	}
+	return fmt.Sprintf("RouterKind(%d)", int(k))
+}
+
+// ParseRouter maps a policy name to its kind.
+func ParseRouter(s string) (RouterKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rr", "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "least", "least-outstanding", "lor":
+		return LeastOutstanding, nil
+	case "p2c", "power-of-two", "poweroftwo":
+		return PowerOfTwo, nil
+	case "hetero", "weighted", "heterogeneity-aware":
+		return WeightedHetero, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown router %q", s)
+}
+
+// Router picks a destination among a model's instances for each query.
+// Implementations may keep per-shard state (e.g. a round-robin cursor)
+// and are not safe for concurrent use.
+type Router interface {
+	Name() string
+	// Pick returns the index of the chosen instance. The slice is
+	// non-empty and all instances serve the query's model.
+	Pick(insts []*Instance, now float64, rng *rand.Rand) int
+}
+
+// New instantiates a fresh router of this kind.
+func (k RouterKind) New() Router {
+	switch k {
+	case LeastOutstanding:
+		return &leastOutstanding{}
+	case PowerOfTwo:
+		return &powerOfTwo{}
+	case WeightedHetero:
+		return &weightedHetero{}
+	default:
+		return &roundRobin{}
+	}
+}
+
+type roundRobin struct{ next int }
+
+func (r *roundRobin) Name() string { return RoundRobin.String() }
+
+func (r *roundRobin) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
+	i := r.next % len(insts)
+	r.next++
+	return i
+}
+
+type leastOutstanding struct{}
+
+func (leastOutstanding) Name() string { return LeastOutstanding.String() }
+
+func (leastOutstanding) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
+	best, bestOut := 0, insts[0].Outstanding(now)
+	for i := 1; i < len(insts); i++ {
+		if out := insts[i].Outstanding(now); out < bestOut {
+			best, bestOut = i, out
+		}
+	}
+	return best
+}
+
+type powerOfTwo struct{}
+
+func (powerOfTwo) Name() string { return PowerOfTwo.String() }
+
+func (powerOfTwo) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
+	n := len(insts)
+	if n == 1 {
+		return 0
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	if insts[j].Outstanding(now) < insts[i].Outstanding(now) {
+		return j
+	}
+	return i
+}
+
+type weightedHetero struct{}
+
+func (weightedHetero) Name() string { return WeightedHetero.String() }
+
+func (weightedHetero) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
+	best, bestLoad := 0, heteroLoad(insts[0], now)
+	for i := 1; i < len(insts); i++ {
+		if l := heteroLoad(insts[i], now); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// heteroLoad is the capacity-normalized congestion of an instance: how
+// many "capacity units" the next query would wait behind. Instances
+// without a positive profiled weight fall back to weight 1.
+func heteroLoad(in *Instance, now float64) float64 {
+	w := in.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return float64(in.Outstanding(now)+1) / w
+}

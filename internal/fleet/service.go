@@ -1,0 +1,233 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+	"hercules/internal/sim"
+	"hercules/internal/stats"
+	"hercules/internal/workload"
+)
+
+// serverByType is hw.ServerType without the panic: the fleet layer
+// consumes allocations that may name types outside T1–T10 (tests build
+// synthetic fleets), and an unknown type must surface as an error, not
+// a crash.
+func serverByType(label string) (srv hw.Server, err error) {
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("fleet: unknown server type %q", label)
+		}
+	}()
+	return hw.ServerType(label), nil
+}
+
+// ServiceSource supplies per-query service times for the fleet engine:
+// the time one server of the given type needs to serve one query of the
+// given model with the server otherwise idle. Implementations must be
+// safe for concurrent use (the parallel replay path calls from many
+// shard workers).
+type ServiceSource interface {
+	ServiceS(serverType, modelName string, size int, scale float64) float64
+}
+
+// SimService derives service times from the existing per-server
+// simulator (internal/sim): each (server type, model) pair is served
+// under the task-scheduling configuration recorded in the profiler
+// efficiency table, and a query's service time is the latency the
+// simulator reports for that single query on an idle server. Results
+// are memoized on quantized (size, scale) buckets, so a full day of
+// millions of queries costs only a few hundred cost-model evaluations
+// per pair.
+type SimService struct {
+	table *profiler.Table
+
+	mu    sync.Mutex
+	pairs map[pairKey]*pairSim
+}
+
+type pairKey struct {
+	server string
+	model  string
+}
+
+// pairSim is the per-(server type, model) simulator with its memo.
+type pairSim struct {
+	srv *sim.Server
+	cfg sim.Config
+
+	mu   sync.Mutex
+	memo map[int64]float64
+}
+
+// NewSimService builds a service source over the given efficiency
+// table. The table's entries must carry the task-scheduling Config the
+// profiler found (entries hand-built without a Config fall back to a
+// conservative default serving configuration).
+func NewSimService(table *profiler.Table) *SimService {
+	return &SimService{table: table, pairs: make(map[pairKey]*pairSim)}
+}
+
+// pair returns (building lazily) the simulator for one pair.
+func (s *SimService) pair(serverType, modelName string) (*pairSim, error) {
+	k := pairKey{serverType, modelName}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ps, ok := s.pairs[k]; ok {
+		return ps, nil
+	}
+	m, err := model.ByName(modelName, model.Prod)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serverByType(serverType)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultServingConfig(srv)
+	if e, ok := s.table.Get(serverType, modelName); ok && e.QPS > 0 {
+		if e.Cfg.Validate(srv) == nil {
+			cfg = e.Cfg
+		}
+	}
+	ps := &pairSim{srv: sim.New(srv, m), cfg: cfg, memo: make(map[int64]float64)}
+	s.pairs[k] = ps
+	return ps, nil
+}
+
+// ServiceS implements ServiceSource.
+func (s *SimService) ServiceS(serverType, modelName string, size int, scale float64) float64 {
+	ps, err := s.pair(serverType, modelName)
+	if err != nil {
+		// Unknown pair: infinite service so the caller drops the query
+		// rather than inventing a latency.
+		return math.Inf(1)
+	}
+	return ps.serviceS(size, scale)
+}
+
+// Geometric size-bucket ladder: ~12%-wide bins keep the memo small
+// (≈45 bins over [10, 1000]) while staying within the cost model's
+// accuracy.
+const sizeLadder = 1.12
+
+func sizeBucket(size int) int {
+	if size <= 1 {
+		return 1
+	}
+	b := math.Round(math.Log(float64(size)) / math.Log(sizeLadder))
+	rep := int(math.Round(math.Pow(sizeLadder, b)))
+	return max(rep, 1)
+}
+
+// scaleBucket quantizes sparse scales to eighths, like internal/sim's
+// cost memo.
+func scaleBucket(scale float64) int {
+	return stats.ClampInt(int(math.Round(scale*8)), 1, 32)
+}
+
+func (p *pairSim) serviceS(size int, scale float64) float64 {
+	repSize := sizeBucket(size)
+	sb := scaleBucket(scale)
+	key := int64(repSize)<<8 | int64(sb)
+	p.mu.Lock()
+	if v, ok := p.memo[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+
+	q := workload.Query{ID: 1, ArrivalS: 0, Size: repSize, SparseScale: float64(sb) / 8}
+	res, err := p.srv.Simulate(p.cfg, []workload.Query{q}, 1)
+	v := math.Inf(1)
+	if err == nil && res.MeanMS > 0 {
+		v = res.MeanMS / 1e3
+	}
+	p.mu.Lock()
+	p.memo[key] = v
+	p.mu.Unlock()
+	return v
+}
+
+// meanServiceS estimates the expected per-query service time of a pair
+// under the default query-size distribution by averaging the source
+// over a fixed deterministic sample. The engine uses it to calibrate
+// per-instance concurrency against the profiled capacity.
+func meanServiceS(src ServiceSource, serverType, modelName string, seed int64) float64 {
+	const draws = 128
+	r := stats.NewRand(seed)
+	d := workload.DefaultQuerySizes()
+	var sum float64
+	n := 0
+	for i := 0; i < draws; i++ {
+		size := d.Draw(r)
+		scale := stats.Lognormal(r, -0.045, 0.3) // mean-1 pooling multiplier
+		v := src.ServiceS(serverType, modelName, size, scale)
+		if math.IsInf(v, 0) || v <= 0 {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// DefaultServingConfig returns a conservative task-scheduling
+// configuration for serving on the given server when no profiled
+// configuration is available: half the cores as two-worker inference
+// threads on CPUs, and an S-D split with query fusion on accelerated
+// servers. NMP DIMMs are used whenever present.
+func DefaultServingConfig(srv hw.Server) sim.Config {
+	if srv.HasGPU() {
+		threads := min(8, max(1, srv.CPU.PhysicalCores/2))
+		return sim.Config{
+			Place:         sim.PlaceAccelSD,
+			SparseThreads: threads,
+			SparseWorkers: 2,
+			Batch:         256,
+			AccelThreads:  2,
+			FusionLimit:   2000,
+			UseNMP:        srv.HasNMP(),
+		}
+	}
+	threads := max(1, srv.CPU.PhysicalCores/2)
+	return sim.Config{
+		Place:     sim.PlaceCPUModel,
+		Threads:   threads,
+		OpWorkers: 2,
+		Batch:     256,
+		UseNMP:    srv.HasNMP(),
+	}
+}
+
+// ServingConfigCandidates returns a small ladder of serving
+// configurations for quick calibration (profiler.CalibratePair over
+// each, keep the best) when the full Algorithm 1 search is too slow.
+// The ladder spans the placements that matter: plain co-location,
+// tight-SLA small batches, the S-D pipeline that rescues the big
+// memory-bound models, and fusion variants on accelerated servers.
+func ServingConfigCandidates(srv hw.Server) []sim.Config {
+	cands := []sim.Config{DefaultServingConfig(srv)}
+	cores := srv.CPU.PhysicalCores
+	if srv.HasGPU() {
+		base := cands[0]
+		small := base
+		small.Batch = 64
+		one := base
+		one.AccelThreads = 1
+		return append(cands, small, one)
+	}
+	half := max(1, cores/2)
+	return append(cands,
+		sim.Config{Place: sim.PlaceCPUModel, Threads: cores, OpWorkers: 1, Batch: 64, UseNMP: srv.HasNMP()},
+		sim.Config{Place: sim.PlaceCPUSD, Threads: half, OpWorkers: 1,
+			SparseThreads: half, SparseWorkers: 1, Batch: 64, UseNMP: srv.HasNMP()},
+	)
+}

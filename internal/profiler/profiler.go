@@ -138,6 +138,28 @@ func ProfilePair(m *model.Model, srv hw.Server, opt Options) Entry {
 	return e
 }
 
+// CalibratePair measures the efficiency tuple of one *fixed*
+// task-scheduling configuration: a single latency-bounded capacity
+// search instead of ProfilePair's full Algorithm 1 exploration. The
+// fleet-replay tools use it to build serving tables in seconds when
+// the full Fig. 9b table (minutes) is not needed; the recorded Config
+// lets the fleet layer derive per-query service times.
+func CalibratePair(m *model.Model, srv hw.Server, cfg sim.Config, seed int64) (Entry, error) {
+	s := sim.New(srv, m)
+	c, err := s.FindCapacity(cfg, m.SLATargetMS, seed)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{Model: m.Name, Server: srv.Type, QPS: c.QPS, Cfg: cfg}
+	if c.QPS > 0 {
+		e.PowerW = c.At.ProvisionedW
+		e.QPSPerWatt = c.QPS / c.At.AvgPowerW
+	} else {
+		e.PowerW = srv.IdleWatts()
+	}
+	return e, nil
+}
+
 // Get returns the entry for (serverType, model).
 func (t *Table) Get(serverType, modelName string) (Entry, bool) {
 	row, ok := t.entries[serverType]

@@ -68,6 +68,9 @@ func TestSearchDeepRecSysFindsCapacity(t *testing.T) {
 }
 
 func TestGradientSearchBeatsOrMatchesBaselineCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	for _, name := range []string{"DLRM-RMC1", "DLRM-RMC3"} {
 		sr := searcher(t, name, "T2", model.Prod)
@@ -84,6 +87,9 @@ func TestGradientSearchBeatsOrMatchesBaselineCPU(t *testing.T) {
 }
 
 func TestGradientMatchesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	// DESIGN.md ablation #2: on the convex Psp(M+D+O) space the gradient
 	// search must land within a few percent of the exhaustive optimum
@@ -105,6 +111,9 @@ func TestGradientMatchesExhaustive(t *testing.T) {
 }
 
 func TestSearchAccelUsesFusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	sr := searcher(t, "MT-WnD", "T7", model.Prod)
 	e := sr.SearchAccel(sim.PlaceAccelModel, false)
@@ -127,6 +136,9 @@ func TestSearchAccelRejectsCPUOnlyServer(t *testing.T) {
 }
 
 func TestHerculesBeatsBaselineOnAccelServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	// Fig. 14(T7): compute-dominated models gain multiples from
 	// co-location + fusion.
@@ -144,6 +156,9 @@ func TestHerculesBeatsBaselineOnAccelServer(t *testing.T) {
 }
 
 func TestHerculesUsesNMPOnNMPServers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	sr := searcher(t, "DLRM-RMC1", "T4", model.Prod)
 	e := sr.SearchHercules()
@@ -165,6 +180,9 @@ func TestSearchTraceCollected(t *testing.T) {
 }
 
 func TestSDPipelineCompetitiveForMemoryBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
 	t.Parallel()
 	// §VI-A: S-D pipelining + full Psp exploration accelerates the
 	// multi-hot DLRM models; at minimum it must be close to model-based

@@ -111,7 +111,7 @@ type run struct {
 func newRun(s *Server, cfg Config) *run {
 	r := &run{s: s, cfg: cfg, cpuMemo: make(map[int64]costmodel.CPUBatchCost)}
 	if cfg.Place.OnAccel() {
-		budget := s.HW.GPU.MemoryBytes / int64(maxInt(cfg.AccelThreads, 1))
+		budget := s.HW.GPU.MemoryBytes / int64(max(cfg.AccelThreads, 1))
 		r.plan = partition.BuildPlan(s.Model, budget)
 		switch cfg.Place {
 		case PlaceAccelModel:
@@ -121,13 +121,6 @@ func newRun(s *Server, cfg Config) *run {
 		}
 	}
 	return r
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // scaleBucket quantizes the per-query sparse scale for cost memoization.
