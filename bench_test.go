@@ -274,6 +274,28 @@ func BenchmarkFig13Online_FleetReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkFigScenarios_NonStationary sweeps the named non-stationary
+// scenarios (flash crowd, regional shift, server failure) against the
+// baseline diurnal replay for every scenario router, with and without
+// the online autoscaler.
+func BenchmarkFigScenarios_NonStationary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FigScenarios(experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, r)
+		var worst float64
+		for _, row := range r.Rows {
+			if base, ok := r.Baseline(row); ok {
+				worst = max(worst, row.Day.SLAViolationMin-base.Day.SLAViolationMin)
+			}
+		}
+		b.ReportMetric(worst, "worst_added_violation_min")
+		b.ReportMetric(float64(len(r.Rows)), "scenario_router_combos")
+	}
+}
+
 func BenchmarkAblation_NoContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.AblationNoContention(experiments.Seed)

@@ -39,6 +39,14 @@ func main() {
 		seedFlag   = flag.Int64("seed", 42, "deterministic seed")
 		stepsFlag  = flag.Bool("steps", false, "print every provisioning interval")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: hercules-cluster [flags]")
+		fmt.Fprintln(os.Stderr, "Provisions a heterogeneous fleet against diurnal loads with one cluster policy.")
+		fmt.Fprintln(os.Stderr, "Without -table, a small demonstration table is profiled on the fly for")
+		fmt.Fprintln(os.Stderr, "RMC1/RMC2 on T2/T3/T7 (about a minute).")
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	policy, err := parsePolicy(*policyFlag)

@@ -74,6 +74,14 @@ func main() {
 		seedFlag  = flag.Int64("seed", experiments.Seed, "deterministic seed")
 		tableFlag = flag.String("table", "", "efficiency-table JSON cache from hercules-profile")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: hercules-figures -fig <keys> [flags]")
+		fmt.Fprintln(os.Stderr, "Regenerates the paper's tables and figures; -fig list shows the keys.")
+		fmt.Fprintln(os.Stderr, "Figures needing the efficiency table profile all 60 pairs on first use")
+		fmt.Fprintln(os.Stderr, "unless -table provides a cached hercules-profile run.")
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *figFlag == "" || *figFlag == "list" {

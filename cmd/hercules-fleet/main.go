@@ -9,14 +9,22 @@
 //	hercules-fleet [-table table.json] [-models RMC1,RMC2]
 //	               [-fleet small|cpu|default|accelerated]
 //	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
+//	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
 //	               [-days 1] [-step-min 60] [-peak 0] [-headroom 0.15]
 //	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
 //	               [-shards 0] [-sequential] [-no-autoscale]
 //	               [-seed 42] [-summary] [-pretty]
 //
 // The -table JSON comes from hercules-profile (full Fig. 9b search).
-// Without it, each (model, server type) pair is calibrated on the fly
-// over a small serving-configuration ladder — seconds, not minutes.
+// Without -table, each (model, server type) pair is quick-calibrated on
+// the fly over a small serving-configuration ladder — seconds, not
+// minutes — which is the recommended way to start.
+//
+// -scenario injects a non-stationary scenario (internal/scenario): a
+// built-in name (flashcrowd, regionshift, failure, degrade, shed), a
+// JSON spec file (@events.json), or an inline JSON event array. Every
+// disruption run is paired with a baseline replay of the same router ×
+// policy so the report shows the divergence directly.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
+	"hercules/internal/scenario"
 	"hercules/internal/workload"
 )
 
@@ -42,6 +51,7 @@ type report struct {
 	Days     int                `json:"days"`
 	StepMin  float64            `json:"step_min"`
 	PeakQPS  map[string]float64 `json:"peak_qps"`
+	Scenario string             `json:"scenario,omitempty"`
 	Seed     int64              `json:"seed"`
 	ElapsedS float64            `json:"elapsed_s"`
 	Runs     []fleet.DayResult  `json:"runs"`
@@ -68,8 +78,31 @@ func main() {
 		seedFlag     = flag.Int64("seed", 42, "deterministic seed")
 		summaryFlag  = flag.Bool("summary", false, "omit per-interval series from the JSON")
 		prettyFlag   = flag.Bool("pretty", false, "indent the JSON output")
+		scenFlag     = flag.String("scenario", "baseline",
+			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array")
+		listScenFlag = flag.Bool("list-scenarios", false, "list the built-in scenarios and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: hercules-fleet [flags]")
+		fmt.Fprintln(os.Stderr, "Replays diurnal days of request-level traffic for every router x policy combination.")
+		fmt.Fprintln(os.Stderr, "Without -table, serving configurations are quick-calibrated on the fly (seconds);")
+		fmt.Fprintln(os.Stderr, "pass a hercules-profile table for the full Fig. 9b search results.")
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+
+	if *listScenFlag {
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Named(name)
+			fmt.Print(sc.Summary())
+		}
+		return
+	}
+	scen, err := parseScenario(*scenFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	fl, err := parseFleet(*fleetFlag)
 	if err != nil {
@@ -122,31 +155,45 @@ func main() {
 	opts.Seed = *seedFlag
 
 	rep := report{
-		Models:  names,
-		Fleet:   *fleetFlag,
-		Days:    *daysFlag,
-		StepMin: *stepMinFlag,
-		PeakQPS: peaks,
-		Seed:    *seedFlag,
+		Models:   names,
+		Fleet:    *fleetFlag,
+		Days:     *daysFlag,
+		StepMin:  *stepMinFlag,
+		PeakQPS:  peaks,
+		Scenario: scen.Name,
+		Seed:     *seedFlag,
+	}
+	// A disruption run is always paired with a baseline replay of the
+	// same router × policy so the report carries the divergence.
+	runScens := []scenario.Scenario{scen}
+	if scen.Active() {
+		fmt.Fprint(os.Stderr, scen.Summary())
+		base, _ := scenario.Named("baseline")
+		runScens = []scenario.Scenario{base, scen}
 	}
 	start := time.Now()
 	for _, pol := range policies {
 		for _, router := range routers {
-			eng := fleet.NewEngine(fl, table, pol, router, opts)
-			eng.Provisioner.OverProvisionR = *headroomFlag
-			if *noScaleFlag {
-				eng.Scaler = nil
+			for _, sc := range runScens {
+				eng := fleet.NewEngine(fl, table, pol, router, opts)
+				eng.Provisioner.OverProvisionR = *headroomFlag
+				if *noScaleFlag {
+					eng.Scaler = nil
+				}
+				if err := eng.ApplyScenario(sc, ws); err != nil {
+					fatal(err)
+				}
+				day, err := eng.RunDay(ws)
+				if err != nil {
+					fatal(err)
+				}
+				if *summaryFlag {
+					day.Steps = nil
+				}
+				rep.Runs = append(rep.Runs, day)
+				fmt.Fprintf(os.Stderr, "%s/%s [%s]: %.1f violation min, %.2f%% drops, %.1f MJ\n",
+					pol, router, day.Scenario, day.SLAViolationMin, day.DropFrac*100, day.EnergyKJ/1e3)
 			}
-			day, err := eng.RunDay(ws)
-			if err != nil {
-				fatal(err)
-			}
-			if *summaryFlag {
-				day.Steps = nil
-			}
-			rep.Runs = append(rep.Runs, day)
-			fmt.Fprintf(os.Stderr, "%s/%s: %.1f violation min, %.2f%% drops, %.1f MJ\n",
-				pol, router, day.SLAViolationMin, day.DropFrac*100, day.EnergyKJ/1e3)
 		}
 	}
 	rep.ElapsedS = time.Since(start).Seconds()
@@ -157,6 +204,24 @@ func main() {
 	}
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
+	}
+}
+
+// parseScenario resolves the -scenario argument: a built-in name, a
+// JSON spec file (@path), or an inline JSON event array / spec object.
+func parseScenario(s string) (scenario.Scenario, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "@"):
+		data, err := os.ReadFile(strings.TrimPrefix(s, "@"))
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		return scenario.FromJSON(data)
+	case strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{"):
+		return scenario.FromJSON([]byte(s))
+	default:
+		return scenario.Named(s)
 	}
 }
 

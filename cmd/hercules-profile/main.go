@@ -35,6 +35,15 @@ func main() {
 		outFlag     = flag.String("out", "", "write the table as JSON to this path")
 		parFlag     = flag.Int("par", 8, "concurrent pair profiling")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: hercules-profile [flags]")
+		fmt.Fprintln(os.Stderr, "Builds the Fig. 9b efficiency table with the full Algorithm 1 search (minutes).")
+		fmt.Fprintln(os.Stderr, "Feed the -out JSON to hercules-cluster, hercules-fleet and hercules-figures via")
+		fmt.Fprintln(os.Stderr, "-table; without one, hercules-fleet quick-calibrates in seconds while the")
+		fmt.Fprintln(os.Stderr, "other two fall back to profiling the pairs they need (minutes).")
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	models, err := parseModels(*modelsFlag)

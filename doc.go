@@ -16,9 +16,12 @@
 //   - internal/lp         — two-phase simplex solver
 //   - internal/cluster    — online heterogeneity-aware provisioning
 //   - internal/fleet      — request-level fleet replay: routing, queues, autoscaling
+//   - internal/scenario   — non-stationary traffic/fault scenarios (flash
+//     crowds, regional shifts, failures, derates, shedding)
 //   - internal/experiments — one driver per paper table/figure
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation; see EXPERIMENTS.md for the
-// paper-vs-measured record and README.md for a tour.
+// paper-vs-measured record, ARCHITECTURE.md for the data-flow map, and
+// README.md for a tour.
 package hercules

@@ -1,21 +1,3 @@
-// Package cluster implements Hercules' online serving stage (§IV-C,
-// Fig. 9c, Fig. 13): the cluster manager that, at every re-provisioning
-// interval, maps diurnal per-workload loads onto a heterogeneous fleet.
-//
-// Four scheduling policies are provided:
-//
-//   - NH — heterogeneity-oblivious: random server assignment [8,9 baseline];
-//   - Greedy — heterogeneity-aware greedy: each workload takes its
-//     best-ranked (QPS/W) available servers, competing workloads
-//     arbitrated randomly [8,9];
-//   - Priority — the characterization §III-C improvement: contended
-//     server types go to the workload with the larger efficiency gain;
-//   - Hercules — the constrained-optimization provisioner of
-//     Equations (1)–(3), solved by LP relaxation (internal/lp) with
-//     greedy integral repair.
-//
-// All policies consume the offline efficiency table (internal/profiler)
-// exactly as Fig. 9 prescribes.
 package cluster
 
 import (
@@ -107,7 +89,12 @@ type Provisioner struct {
 	// AutoR estimates OverProvisionR from the traces at the start of a
 	// Run (§IV-C's history-profiled headroom).
 	AutoR bool
-	rng   *rand.Rand
+	// Unavailable marks servers the control plane knows to be down
+	// (serverType → count); they are subtracted from every policy's
+	// availability. The fleet engine sets this from scenario failure
+	// events so re-provisioning happens against the degraded fleet.
+	Unavailable map[string]int
+	rng         *rand.Rand
 }
 
 // NewProvisioner builds a provisioner; seed drives the random
@@ -409,14 +396,15 @@ func (p *Provisioner) allocLP(target map[string]float64) Allocation {
 		prob.B = append(prob.B, target[name])
 		prob.Rel = append(prob.Rel, lp.GE)
 	}
-	// Availability constraints (Equation 3).
+	// Availability constraints (Equation 3), net of known-down servers.
+	availNow := p.availability()
 	for h := range types {
 		row := make([]float64, nv)
 		for m := range names {
 			row[varIdx(h, m)] = 1
 		}
 		prob.A = append(prob.A, row)
-		prob.B = append(prob.B, float64(p.Fleet.Counts[h]))
+		prob.B = append(prob.B, float64(availNow[types[h].Type]))
 		prob.Rel = append(prob.Rel, lp.LE)
 	}
 
@@ -590,11 +578,11 @@ func (p *Provisioner) trim(alloc Allocation, target map[string]float64) {
 	}
 }
 
-// availability copies the fleet counts.
+// availability returns the fleet counts minus known-down servers.
 func (p *Provisioner) availability() map[string]int {
 	out := make(map[string]int, len(p.Fleet.Types))
 	for i, srv := range p.Fleet.Types {
-		out[srv.Type] = p.Fleet.Counts[i]
+		out[srv.Type] = max(p.Fleet.Counts[i]-p.Unavailable[srv.Type], 0)
 	}
 	return out
 }

@@ -1,0 +1,29 @@
+// Package cluster implements Hercules' online serving stage (§IV-C,
+// Fig. 9c, Fig. 13): the cluster manager that, at every re-provisioning
+// interval, maps diurnal per-workload loads onto a heterogeneous fleet.
+//
+// Four scheduling policies are provided:
+//
+//   - NH — heterogeneity-oblivious: random server assignment [8,9 baseline];
+//   - Greedy — heterogeneity-aware greedy: each workload takes its
+//     best-ranked (QPS/W) available servers, competing workloads
+//     arbitrated randomly [8,9];
+//   - Priority — the characterization §III-C improvement: contended
+//     server types go to the workload with the larger efficiency gain;
+//   - Hercules — the constrained-optimization provisioner of
+//     Equations (1)–(3), solved by LP relaxation (internal/lp) with
+//     greedy integral repair.
+//
+// All policies consume the offline efficiency table (internal/profiler)
+// exactly as Fig. 9 prescribes.
+//
+// The surface: a Provisioner drives one Policy, either one interval at
+// a time (Step, which the fleet engine calls between replay intervals)
+// or over whole aligned traces (Run, which the Fig. 8/17 experiments
+// score on provisioned power and capacity). Allocation maps server
+// type → model → activated count; Saving and CapacitySaving compare
+// runs the way the paper's headline numbers do. Provisioner.Unavailable
+// subtracts known-down servers (scenario failures reported by the
+// fleet engine) from every policy's availability, so re-provisioning
+// under degraded capacity is first-class.
+package cluster

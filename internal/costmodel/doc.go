@@ -1,0 +1,24 @@
+// Package costmodel turns operator graphs into batch service times on
+// concrete hardware. It is the analytical substitute for the paper's
+// real-system measurement (§V): a roofline model with co-location
+// contention on CPUs, a kernel/PCIe pipeline model for GPUs, and the
+// NMP LUT (internal/nmpsim) for near-memory SLS operators.
+//
+// The server simulator (internal/sim) composes these batch costs into
+// query latencies and throughput; the model is deliberately simple but
+// reproduces the paper's first-order behaviours:
+//
+//   - sparse embedding gathers are memory-bandwidth bound and contend
+//     across co-located threads (convexity of Fig. 11a–c);
+//   - dense op chains limit op-parallel speedup, idling extra operator
+//     workers (Fig. 5);
+//   - GPU batches pay kernel-launch and PCIe data-loading overheads that
+//     query fusion amortizes (Figs. 6, 7);
+//   - NMP executes Gather-Reduce near memory at rank-parallel bandwidth,
+//     but does nothing for one-hot lookups (Fig. 15).
+//
+// The surface: CPUBatch, GPUBatch and HostGather price one batch of one
+// graph stage on one server under a given co-location level (Params,
+// tuned in DefaultParams, holds the calibration constants);
+// OpWorkerIdleFraction reproduces the Fig. 5 idle accounting.
+package costmodel

@@ -1,0 +1,22 @@
+// Package experiments reproduces every table and figure of the Hercules
+// paper's evaluation. Each Fig*/Table* function runs the corresponding
+// experiment end-to-end on the simulated substrate and returns a
+// structured result with a Render method that prints the same rows or
+// series the paper reports.
+//
+// The package is consumed by the root benchmark harness (bench_test.go),
+// the cmd/hercules-figures CLI, and the runnable examples. Expensive
+// shared artifacts — the Hercules and baseline efficiency tables of
+// Fig. 9(b) — are built once per process and memoized.
+//
+// Beyond the paper's own figures, two drivers score the request-level
+// serving layer the paper's aggregate-capacity evaluation cannot see:
+// Fig13Online (routers × provisioning policies over a replayed diurnal
+// day, internal/fleet) and FigScenarios (routers × autoscaler under the
+// non-stationary scenarios of internal/scenario — flash crowd, regional
+// shift, server failure — scored in SLA-violation minutes against the
+// baseline replay).
+//
+// Every experiment is deterministic given Seed; EXPERIMENTS.md records
+// the paper-vs-measured numbers for the default seed.
+package experiments

@@ -1,13 +1,3 @@
-// Package experiments reproduces every table and figure of the Hercules
-// paper's evaluation. Each Fig*/Table* function runs the corresponding
-// experiment end-to-end on the simulated substrate and returns a
-// structured result with a Render method that prints the same rows or
-// series the paper reports.
-//
-// The package is consumed by the root benchmark harness (bench_test.go),
-// the cmd/hercules-figures CLI, and the runnable examples. Expensive
-// shared artifacts — the Hercules and baseline efficiency tables of
-// Fig. 9(b) — are built once per process and memoized.
 package experiments
 
 import (

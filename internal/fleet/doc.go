@@ -1,0 +1,44 @@
+// Package fleet is the request-level serving layer between the
+// per-server simulator (internal/sim) and interval-level provisioning
+// (internal/cluster): a discrete-event fleet engine that replays a
+// diurnal day of Poisson query arrivals against the heterogeneous
+// server fleet a cluster policy activates, with per-query routing,
+// bounded per-server queues, windowed tail-latency tracking and an
+// online autoscaler.
+//
+// The cluster layer answers "how many servers of each type does each
+// workload need this interval?" from aggregate capacities; this
+// package answers what actually happens to individual queries between
+// re-provisioning decisions — queueing, load imbalance across a
+// heterogeneous fleet, drops, and SLA-violation minutes — which
+// aggregate-capacity models systematically hide. It extends the
+// paper's Fig. 13 evaluation below the provisioning interval.
+//
+// The surface:
+//
+//   - Engine / RunDay — replay a day of cluster.Workload traces and
+//     return per-interval and aggregate DayResult metrics;
+//   - RouterKind — the per-query routing policies (round-robin,
+//     least-outstanding, power-of-two-choices, heterogeneity-aware);
+//   - Instance — one activated server as an M/G/c/(c+K) queue;
+//   - Autoscaler — early re-provisioning on windowed SLA breach;
+//   - CalibrateTable — a seconds-scale serving table when the full
+//     Fig. 9b profiling run is too slow;
+//   - ApplyScenario / Engine.Timeline — inject an internal/scenario
+//     timeline (flash crowds, failures, derates, shedding) into the
+//     replay.
+//
+// Per-query service times come from the existing internal/sim cost
+// model via SimService; nothing here re-implements server timing. Each
+// activated server is an M/G/c/(c+K) queue whose concurrency c is
+// calibrated so saturation throughput matches the profiled
+// latency-bounded QPS of its (server type, model) pair.
+//
+// Replay is sampled: each trace interval simulates a slice of traffic
+// at the interval's full arrival rate (long enough for stable tail
+// estimates, capped by Options.MaxQueriesPerInterval) and extrapolates
+// interval metrics from the slice. The parallel path shards each
+// model's instances and query stream across a runtime.NumCPU()-sized
+// worker pool; shard assignment is drawn deterministically, so
+// parallel and sequential replays produce identical results.
+package fleet

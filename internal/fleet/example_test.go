@@ -1,0 +1,48 @@
+package fleet_test
+
+import (
+	"fmt"
+
+	"hercules/internal/fleet"
+	"hercules/internal/workload"
+)
+
+// ExampleReplaySlice routes a burst of simultaneous queries over a
+// two-server pool and shows the bounded-queue admission arithmetic:
+// each server works on one query at a time (concurrency 1) with one
+// waiting slot, so a burst of six admits four and drops two.
+func ExampleReplaySlice() {
+	svc := func(size int, scale float64) float64 { return 0.010 } // 10 ms
+	insts := []*fleet.Instance{
+		fleet.NewInstance(0, "T2", "DLRM-RMC1", 100, 1, 1, svc),
+		fleet.NewInstance(1, "T2", "DLRM-RMC1", 100, 1, 1, svc),
+	}
+	queries := make([]workload.Query, 6)
+	for i := range queries {
+		queries[i] = workload.Query{ID: int64(i), ArrivalS: 0, Size: 100, SparseScale: 1}
+	}
+	res := fleet.ReplaySlice(fleet.RoundRobin, insts, queries, 42)
+	fmt.Printf("served: %d dropped: %d\n", res.Served, res.Dropped)
+	fmt.Printf("latencies (ms):")
+	for _, l := range res.LatS {
+		fmt.Printf(" %.0f", l*1e3)
+	}
+	fmt.Println()
+	// Output:
+	// served: 4 dropped: 2
+	// latencies (ms): 10 10 20 20
+}
+
+// ExampleParseRouter shows the routing policies the replay engine
+// accepts.
+func ExampleParseRouter() {
+	for _, name := range []string{"rr", "least", "p2c", "hetero"} {
+		k, err := fleet.ParseRouter(name)
+		fmt.Println(k, err == nil)
+	}
+	// Output:
+	// rr true
+	// least true
+	// p2c true
+	// hetero true
+}

@@ -1,31 +1,3 @@
-// Package fleet is the request-level serving layer between the
-// per-server simulator (internal/sim) and interval-level provisioning
-// (internal/cluster): a discrete-event fleet engine that replays a
-// diurnal day of Poisson query arrivals against the heterogeneous
-// server fleet a cluster policy activates, with per-query routing,
-// bounded per-server queues, windowed tail-latency tracking and an
-// online autoscaler.
-//
-// The cluster layer answers "how many servers of each type does each
-// workload need this interval?" from aggregate capacities; this
-// package answers what actually happens to individual queries between
-// re-provisioning decisions — queueing, load imbalance across a
-// heterogeneous fleet, drops, and SLA-violation minutes — which
-// aggregate-capacity models systematically hide.
-//
-// Per-query service times come from the existing internal/sim cost
-// model via SimService; nothing here re-implements server timing. Each
-// activated server is an M/G/c/(c+K) queue whose concurrency c is
-// calibrated so saturation throughput matches the profiled
-// latency-bounded QPS of its (server type, model) pair.
-//
-// Replay is sampled: each trace interval simulates a slice of traffic
-// at the interval's full arrival rate (long enough for stable tail
-// estimates, capped by Options.MaxQueriesPerInterval) and extrapolates
-// interval metrics from the slice. The parallel path shards each
-// model's instances and query stream across a runtime.NumCPU()-sized
-// worker pool; shard assignment is drawn deterministically, so
-// parallel and sequential replays produce identical results.
 package fleet
 
 import (
@@ -39,6 +11,7 @@ import (
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
+	"hercules/internal/scenario"
 	"hercules/internal/stats"
 	"hercules/internal/workload"
 )
@@ -93,7 +66,12 @@ type Engine struct {
 	// Scaler is the online autoscaler; nil disables early
 	// re-provisioning (scheduled intervals only).
 	Scaler *Autoscaler
-	Opts   Options
+	// Timeline injects a compiled non-stationary scenario
+	// (internal/scenario): per-interval load spikes, query-mix shifts,
+	// admission shedding, server kills and derates. nil replays the
+	// unperturbed diurnal baseline.
+	Timeline *scenario.Timeline
+	Opts     Options
 
 	models    map[string]*model.Model
 	meanSvc   map[pairKey]float64
@@ -117,6 +95,25 @@ func NewEngine(fleet hw.Fleet, table *profiler.Table, policy cluster.Policy, rou
 	}
 }
 
+// ApplyScenario compiles the scenario against the workloads' aligned
+// trace geometry and the engine's fleet, and installs the resulting
+// timeline for the next RunDay.
+func (e *Engine) ApplyScenario(sc scenario.Scenario, ws []cluster.Workload) error {
+	if len(ws) == 0 {
+		return fmt.Errorf("fleet: no workloads to scope the scenario against")
+	}
+	steps := ws[0].Trace.Steps()
+	for _, w := range ws[1:] {
+		steps = min(steps, w.Trace.Steps())
+	}
+	tl, err := scenario.Compile(sc, steps, ws[0].Trace.StepS, e.fleetCounts())
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	e.Timeline = tl
+	return nil
+}
+
 // IntervalStats records one trace interval of the replay.
 type IntervalStats struct {
 	Index      int     `json:"index"`
@@ -124,9 +121,15 @@ type IntervalStats struct {
 	OfferedQPS float64 `json:"offered_qps"`
 	Queries    int     `json:"queries"`
 	Drops      int     `json:"drops"`
-	P50MS      float64 `json:"p50_ms"`
-	P95MS      float64 `json:"p95_ms"`
-	P99MS      float64 `json:"p99_ms"`
+	// Shed counts queries rejected at admission by a load-shedding
+	// scenario event (never offered to a server, not an SLA breach).
+	Shed int `json:"shed,omitempty"`
+	// DeadServers is how many fleet servers a scenario failure event
+	// holds down during this interval.
+	DeadServers int     `json:"dead_servers,omitempty"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
 	// ModelP95MS / ModelP99MS are per-model windowless tails.
 	ModelP95MS map[string]float64 `json:"model_p95_ms"`
 	ModelP99MS map[string]float64 `json:"model_p99_ms"`
@@ -149,12 +152,16 @@ type IntervalStats struct {
 
 // DayResult aggregates a full replay.
 type DayResult struct {
-	Router string          `json:"router"`
-	Policy string          `json:"policy"`
-	Steps  []IntervalStats `json:"intervals"`
+	Router string `json:"router"`
+	Policy string `json:"policy"`
+	// Scenario names the injected scenario timeline ("baseline" when
+	// the engine replayed the unperturbed diurnal day).
+	Scenario string          `json:"scenario"`
+	Steps    []IntervalStats `json:"intervals"`
 
 	TotalQueries        int     `json:"total_queries"`
 	TotalDrops          int     `json:"total_drops"`
+	TotalShed           int     `json:"total_shed,omitempty"`
 	DropFrac            float64 `json:"drop_frac"`
 	SLAViolationMin     float64 `json:"sla_violation_min"`
 	MeanP95MS           float64 `json:"mean_p95_ms"`
@@ -170,8 +177,20 @@ type DayResult struct {
 
 // RunDay replays the workloads' aligned diurnal traces end to end and
 // returns per-interval and aggregate serving metrics.
+//
+// With a Timeline set, each interval first applies the scenario's
+// traffic effects (load scaling, query-mix shifts, admission shedding)
+// and fleet effects (kills, derates). Kills bite immediately — the
+// affected instances vanish from the serving pools mid-replay — but the
+// control plane only learns of them at the interval's end, triggering
+// an early re-provision at the next boundary against the degraded
+// availability. Derates are never reported to the control plane: only
+// tail latency (and hence the autoscaler) can see them.
 func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
-	res := DayResult{Router: e.Router.String(), Policy: e.Provisioner.Kind.String()}
+	res := DayResult{Router: e.Router.String(), Policy: e.Provisioner.Kind.String(), Scenario: "baseline"}
+	if e.Timeline != nil && e.Timeline.Name != "" {
+		res.Scenario = e.Timeline.Name
+	}
 	if len(ws) == 0 {
 		return res, fmt.Errorf("fleet: no workloads")
 	}
@@ -204,15 +223,23 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	var active cluster.StepResult
 	earlyPending := false
 	extraR := 0.0
+	// knownFleet is the control plane's (detection-lagged) view of
+	// scenario fleet health: kills observed up to the previous interval.
+	knownFleet := scenario.Effects{}
 	for i := 0; i < steps; i++ {
+		eff := e.Timeline.At(i)
 		loads := make(map[string]float64, len(ws))
 		for _, w := range ws {
 			loads[w.Model] += w.Trace.LoadsQPS[i]
+		}
+		for m := range loads {
+			loads[m] *= eff.Load(m)
 		}
 		scheduled := i%every == 0
 		reprovision := i == 0 || scheduled || earlyPending
 		if reprovision {
 			e.Provisioner.OverProvisionR = e.baseOverR + extraR
+			e.Provisioner.Unavailable = knownFleet.Killed
 			active = e.Provisioner.Step(loads)
 			insts = e.buildInstances(active.Alloc)
 			res.Reprovisions++
@@ -221,19 +248,29 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 			}
 		}
 
-		ist := e.replayInterval(i, stepS, loads, insts)
+		pools, dead := e.effectiveInstances(insts, eff)
+		ist := e.replayInterval(i, stepS, loads, pools, eff)
 		ist.Reprovisioned = reprovision
 		ist.EarlyReprovision = reprovision && earlyPending && !scheduled
 		ist.Boosted = e.Scaler.Boosted() || extraR > 0
 		ist.ActiveServers = active.ActiveServers
+		ist.DeadServers = dead
 		ist.ProvisionedKW = active.ProvisionedPowerW / 1e3
 		ist.ProvisionedEnergyKJ = active.ProvisionedPowerW * stepS / 1e3
 		res.Steps = append(res.Steps, ist)
 
 		earlyPending, extraR = e.Scaler.IntervalEnd()
+		if !eff.SameFleetState(knownFleet) {
+			// Health checks noticed servers dying or returning during
+			// this interval: re-provision at the next boundary against
+			// the new availability.
+			knownFleet = eff
+			earlyPending = true
+		}
 
 		res.TotalQueries += ist.Queries
 		res.TotalDrops += ist.Drops
+		res.TotalShed += ist.Shed
 		res.SLAViolationMin += ist.ViolationMin
 		res.EnergyKJ += ist.EnergyKJ
 		res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
@@ -251,7 +288,82 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		res.AutoscaleEvents = e.Scaler.Events
 	}
 	e.Provisioner.OverProvisionR = e.baseOverR
+	e.Provisioner.Unavailable = nil
 	return res, nil
+}
+
+// effectiveInstances applies a scenario's fleet effects to the
+// provisioned pools: killed servers disappear (highest instance IDs of
+// the affected type first — one failure domain), derated servers are
+// replaced by slowed clones. It returns the pools to replay against
+// plus the fleet-wide count of down servers. With no fleet effects the
+// input pools are returned untouched.
+func (e *Engine) effectiveInstances(insts map[string][]*Instance, eff scenario.Effects) (map[string][]*Instance, int) {
+	if len(eff.Killed) == 0 && len(eff.DerateFrac) == 0 {
+		return insts, 0
+	}
+	fleetCount := e.fleetCounts()
+	builtOfType := make(map[string]int)
+	for _, pool := range insts {
+		for _, in := range pool {
+			builtOfType[in.Type]++
+		}
+	}
+	// A type's pools can keep at most (fleet - killed) live servers;
+	// anything the current allocation holds beyond that is dead. When
+	// the allocation was computed against the degraded availability,
+	// the budget is zero and nothing is filtered.
+	deadIDs := make(map[int]bool)
+	deadServers := 0
+	types := make([]string, 0, len(eff.Killed))
+	for t := range eff.Killed {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		killed := min(eff.Killed[t], fleetCount[t])
+		deadServers += killed
+		budget := builtOfType[t] - (fleetCount[t] - killed)
+		if budget <= 0 {
+			continue
+		}
+		var ids []int
+		for _, pool := range insts {
+			for _, in := range pool {
+				if in.Type == t {
+					ids = append(ids, in.ID)
+				}
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+		for _, id := range ids[:budget] {
+			deadIDs[id] = true
+		}
+	}
+	out := make(map[string][]*Instance, len(insts))
+	for m, pool := range insts {
+		kept := make([]*Instance, 0, len(pool))
+		for _, in := range pool {
+			if deadIDs[in.ID] {
+				continue
+			}
+			if f := eff.DerateOf(in.Type); f < 1 {
+				in = in.Slowed(1 / f)
+			}
+			kept = append(kept, in)
+		}
+		out[m] = kept
+	}
+	return out, deadServers
+}
+
+// fleetCounts aggregates the fleet's availability by server type.
+func (e *Engine) fleetCounts() map[string]int {
+	counts := make(map[string]int, len(e.Fleet.Types))
+	for i, srv := range e.Fleet.Types {
+		counts[srv.Type] += e.Fleet.Counts[i]
+	}
+	return counts
 }
 
 // buildInstances turns an allocation into per-model instance pools
@@ -374,8 +486,12 @@ func (w *shardWork) run() {
 }
 
 // replayInterval simulates one interval's sampled slice and
-// extrapolates interval metrics.
-func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64, insts map[string][]*Instance) IntervalStats {
+// extrapolates interval metrics. eff carries the interval's scenario
+// traffic effects: query-size mix shifts rescale each generator's size
+// distribution, and shed fractions thin the admitted stream before
+// routing (loads arrive already scaled by the caller; fleet effects are
+// already baked into insts).
+func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64, insts map[string][]*Instance, eff scenario.Effects) IntervalStats {
 	ist := IntervalStats{
 		Index:      idx,
 		TimeH:      float64(idx) * stepS / 3600,
@@ -432,8 +548,28 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			shards[j%n].insts = append(shards[j%n].insts, in)
 		}
 		gen := workload.NewGenerator(e.models[m], loads[m], mixSeed(e.Opts.Seed, 0x9e37+int64(idx), int64(mi)))
+		if sc := eff.Size(m); sc != 1 {
+			// Shift the lognormal's median: the mix rotation makes every
+			// query sc× heavier without touching the arrival process.
+			gen.Sizes.Mu += math.Log(sc)
+		}
+		queries := gen.Until(sliceS)
+		if frac := eff.Shed(m); frac > 0 {
+			// Admission control drops a deterministic Bernoulli thinning
+			// of the stream; shed queries never reach a router.
+			shedR := stats.NewRand(mixSeed(e.Opts.Seed, 0x5ed0+int64(idx), int64(mi)))
+			kept := make([]workload.Query, 0, len(queries))
+			for _, q := range queries {
+				if shedR.Float64() < frac {
+					ist.Shed++
+					continue
+				}
+				kept = append(kept, q)
+			}
+			queries = kept
+		}
 		split := stats.NewRand(mixSeed(e.Opts.Seed, 0x517+int64(idx), int64(mi)))
-		for _, q := range gen.Until(sliceS) {
+		for _, q := range queries {
 			s := 0
 			if n > 1 {
 				s = split.Intn(n)

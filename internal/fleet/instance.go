@@ -57,6 +57,17 @@ func NewInstance(id int, serverType, modelName string, weight float64, concurren
 	}
 }
 
+// Slowed returns a fresh instance identical to in except that every
+// service time is multiplied by k (k > 1 models a derated server:
+// thermal throttling, a sick disk). Weight is deliberately unchanged —
+// the control plane and the heterogeneity-aware router keep believing
+// the profiled capacity, which is exactly what makes derates dangerous.
+func (in *Instance) Slowed(k float64) *Instance {
+	base := in.svc
+	return NewInstance(in.ID, in.Type, in.Model, in.Weight, in.Concurrency, in.QueueCap,
+		func(size int, scale float64) float64 { return base(size, scale) * k })
+}
+
 // Reset clears the virtual-time state for a new replay slice.
 func (in *Instance) Reset() {
 	for i := range in.free {

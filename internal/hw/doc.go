@@ -1,0 +1,17 @@
+// Package hw describes the heterogeneous server hardware of the Hercules
+// paper (Table II): two Intel Xeon CPU generations, DDR4 and DIMM-based
+// near-memory-processing (NMP) memory configurations, and two NVIDIA GPU
+// generations, composed into the ten server types T1–T10 with their fleet
+// availabilities N1–N10.
+//
+// All quantities are plain SI: bytes, bytes/second, FLOP/second, watts,
+// hertz. The cost model (internal/costmodel) consumes these descriptors;
+// nothing here performs simulation.
+//
+// The surface: Server (built by ServerType("T1").."T10") bundles a CPU,
+// a memory configuration and an optional GPU; Fleet pairs server types
+// with availability counts. DefaultFleet is the paper's N1–N10 mix;
+// CPUOnlyFleet and AcceleratedFleet are the evaluation's restricted
+// fleets, and the fleet-replay experiments compose their own small
+// fleets from individual types.
+package hw

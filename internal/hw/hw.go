@@ -1,12 +1,3 @@
-// Package hw describes the heterogeneous server hardware of the Hercules
-// paper (Table II): two Intel Xeon CPU generations, DDR4 and DIMM-based
-// near-memory-processing (NMP) memory configurations, and two NVIDIA GPU
-// generations, composed into the ten server types T1–T10 with their fleet
-// availabilities N1–N10.
-//
-// All quantities are plain SI: bytes, bytes/second, FLOP/second, watts,
-// hertz. The cost model (internal/costmodel) consumes these descriptors;
-// nothing here performs simulation.
 package hw
 
 import "fmt"

@@ -1,0 +1,20 @@
+// Package lp provides a dense two-phase primal simplex solver for the
+// small linear programs the Hercules cluster provisioner solves every
+// re-provisioning interval (§IV-C, Equations 1–3). The paper uses an
+// interior-point solver; at our problem sizes (H×M ≤ a few hundred
+// variables) simplex reaches the same optimum exactly.
+//
+// Problems are stated in the natural form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i,   x ≥ 0
+//
+// and converted internally to standard form with slack, surplus and
+// artificial variables. Bland's rule guarantees termination.
+//
+// The surface: fill a Problem (objective C, rows A/B with a Relation
+// each), call Solve, and inspect the Solution's Status (Optimal,
+// Infeasible, Unbounded) and primal point X. internal/cluster's
+// Hercules policy is the only production consumer; it repairs the
+// relaxed solution to integers itself.
+package lp

@@ -1,16 +1,3 @@
-// Package lp provides a dense two-phase primal simplex solver for the
-// small linear programs the Hercules cluster provisioner solves every
-// re-provisioning interval (§IV-C, Equations 1–3). The paper uses an
-// interior-point solver; at our problem sizes (H×M ≤ a few hundred
-// variables) simplex reaches the same optimum exactly.
-//
-// Problems are stated in the natural form
-//
-//	minimize    c·x
-//	subject to  A_i·x (≤ | = | ≥) b_i,   x ≥ 0
-//
-// and converted internally to standard form with slack, surplus and
-// artificial variables. Bland's rule guarantees termination.
 package lp
 
 import (

@@ -1,16 +1,3 @@
-// Package model defines the recommendation-model intermediate
-// representation used throughout Hercules and the six industry
-// model configurations of Table I (DLRM-RMC1/2/3, MT-WnD, DIN, DIEN).
-//
-// A Model is a static description: embedding tables (SparseNet), dense
-// layers, optional attention (FC or GRU), and multi-task heads. From it,
-// BuildGraph derives an operator graph whose nodes carry per-item FLOP
-// and byte costs; the cost model (internal/costmodel) turns those into
-// latencies on concrete hardware, and the partitioner (internal/partition)
-// splits the graph into Gs / Gs.hot / Gd sub-graphs.
-//
-// "Per item" means per ranked candidate: a query of size q ranks q items,
-// so batch cost scales with the number of items in the batch.
 package model
 
 import (

@@ -1,0 +1,14 @@
+// Package nmpsim models the DIMM-based near-memory-processing (NMP)
+// substrate of the Hercules paper (RecNMP-style rank-level SLS engines).
+//
+// The paper's methodology (§V, Fig. 13) runs a cycle-level NMP simulator
+// offline over sampled queries and records embedding-operator latency and
+// energy in a lookup table (LUT); online, a "dummy SLS-NMP operator"
+// taxes the LUT latency. This package reproduces exactly that: a
+// bank-level DRAM command simulator estimates the sustained random
+// gather-reduce throughput of one rank (SimulateRankGather over the
+// DDR42400 timing parameters), a LUT (NewLUT / Default) caches
+// per-configuration effective bandwidths, and Latency/Energy answer the
+// online queries the cost model issues for every NMP-placed embedding
+// operator.
+package nmpsim

@@ -1,0 +1,21 @@
+// Package partition implements Hercules' HW-aware model partitioning
+// (§IV-B, Fig. 10): locality-aware hot-embedding extraction under an
+// accelerator capacity budget, and the per-item data-movement payloads
+// of the resulting placements.
+//
+// Production embedding accesses are Zipf-skewed, so a small "hot" prefix
+// of rows (ranked by access frequency) absorbs most lookups. Given a
+// per-thread capacity budget (GPU memory / co-location degree), the
+// partitioner sizes per-table hot sets and reports the covered access
+// mass, from which the simulator derives host-side cold work and PCIe
+// payloads for the two accelerator placements:
+//
+//   - Model-based (Fig. 10d): Gs.hot+Gd on the accelerator; the host
+//     gathers cold entries, sending partial sums and hot indices.
+//   - S-D pipeline (Fig. 10c): all of Gs on the host; only pooled
+//     outputs / gathered sequences cross PCIe.
+//
+// The surface: BuildPlan produces the hot-set plan for one model and
+// budget; ModelBasedAccel, SDAccel and FullModelAccel price the
+// per-item PCIe payloads of each placement for the cost model.
+package partition

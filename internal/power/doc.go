@@ -1,0 +1,13 @@
+// Package power models server power consumption, substituting for the
+// paper's RAPL and nvidia-smi measurements (§V). It converts the
+// activity accounting produced by the server simulator — core busy
+// seconds, memory traffic, NMP traffic, GPU busy time — into average and
+// provisioned (peak) watts, and derives the QPS-per-Watt efficiency
+// metric used for workload classification.
+//
+// The surface: Activity is the accounting struct internal/sim fills in
+// during a run; Model (Default) turns one Activity on one server into
+// average/provisioned watts; Efficiency computes the QPS-per-Watt
+// metric the profiler records and every cluster policy ranks servers
+// by (§III-B, Fig. 8).
+package power

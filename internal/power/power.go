@@ -1,9 +1,3 @@
-// Package power models server power consumption, substituting for the
-// paper's RAPL and nvidia-smi measurements (§V). It converts the
-// activity accounting produced by the server simulator — core busy
-// seconds, memory traffic, NMP traffic, GPU busy time — into average and
-// provisioned (peak) watts, and derives the QPS-per-Watt efficiency
-// metric used for workload classification.
 package power
 
 import (

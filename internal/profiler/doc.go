@@ -1,0 +1,24 @@
+// Package profiler implements Hercules' offline profiling stage
+// (§IV-A, Fig. 9): for every workload/server-type pair it runs the
+// task-scheduling exploration and records the efficiency tuple
+// (QPS[h,m], Power[h,m]) that classifies workloads for the online
+// cluster scheduler.
+//
+// The surface:
+//
+//   - BuildTable / ProfilePair — the full Fig. 9b profiling run: the
+//     Algorithm 1 search (internal/sched, Scheduler selects Hercules or
+//     the baseline) over every pair, minutes of work, memoized by the
+//     experiments layer;
+//   - CalibratePair — the seconds-scale alternative: measure one pair
+//     under one given serving configuration (fleet.CalibrateTable
+//     sweeps a small candidate ladder with it, which is what the CLIs
+//     use when no -table is supplied);
+//   - Entry / Table — the efficiency tuples (QPS, watts, QPS/W, the
+//     winning sim.Config) with JSON round-tripping, lookup, per-model
+//     server ranking (RankServers) and the rendered Fig. 9b matrix.
+//
+// Everything downstream — the cluster policies of internal/cluster,
+// the fleet engine's instance weights and concurrency calibration —
+// consumes these tables; no online component re-measures capacity.
+package profiler

@@ -1,0 +1,33 @@
+package profiler_test
+
+import (
+	"fmt"
+
+	"hercules/internal/fleet"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+)
+
+// ExampleCalibratePair measures one (model, server type) pair under one
+// serving configuration — the seconds-scale quick-calibration path the
+// CLIs use when no profiled table is supplied (the full Fig. 9b run
+// searches the whole configuration space instead).
+func ExampleCalibratePair() {
+	m := model.DLRMRMC1(model.Prod)
+	srv := hw.ServerType("T2")
+	cfg := fleet.DefaultServingConfig(srv)
+
+	e, err := profiler.CalibratePair(m, srv, cfg, 42)
+	if err != nil {
+		fmt.Println("calibrate:", err)
+		return
+	}
+	fmt.Printf("pair: %s on %s\n", e.Model, e.Server)
+	fmt.Printf("capacity positive: %v\n", e.QPS > 0)
+	fmt.Printf("efficiency consistent: %v\n", e.QPSPerWatt > 0 && e.PowerW > 0)
+	// Output:
+	// pair: DLRM-RMC1 on T2
+	// capacity positive: true
+	// efficiency consistent: true
+}

@@ -1,8 +1,3 @@
-// Package profiler implements Hercules' offline profiling stage
-// (§IV-A, Fig. 9): for every workload/server-type pair it runs the
-// task-scheduling exploration and records the efficiency tuple
-// (QPS[h,m], Power[h,m]) that classifies workloads for the online
-// cluster scheduler.
 package profiler
 
 import (

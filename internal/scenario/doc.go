@@ -1,0 +1,39 @@
+// Package scenario turns the smooth diurnal replay into the
+// non-stationary traffic that dominates real at-scale serving: flash
+// crowds, regional failover, capacity loss and load-shedding drills.
+// It is deliberately beyond the Hercules paper, whose evaluation
+// (§VI) assumes the synchronized diurnal day of Fig. 2d; the HPC
+// characterization literature shows steady-state numbers mislead
+// exactly when these regimes hit.
+//
+// A Scenario is a named list of Events, each active on an [StartH,
+// EndH) window of the replayed day:
+//
+//   - Spike — multiplicative arrival-rate surge with linear ramps
+//     (flash crowd);
+//   - MixShift — rotates a workload's query-size distribution, so the
+//     same QPS carries heavier queries (regional failover);
+//   - Kill — takes servers of a type out of the fleet (rack/region
+//     failure), by count or by fraction;
+//   - Derate — slows a type's service rate without telling the control
+//     plane (thermal throttling, sick hardware);
+//   - Shed — drops a fraction of arrivals at admission (load-shedding
+//     drill), accounted separately from queue-full drops.
+//
+// Scenarios are data: Named returns the built-ins (baseline,
+// flashcrowd, regionshift, failure, degrade, shed) and FromJSON parses
+// user specs, so `hercules-fleet -scenario @events.json` replays
+// arbitrary drills. Compile evaluates the events against a concrete
+// replay geometry (interval count, interval length, fleet composition)
+// into a Timeline of per-interval Effects, which is what the fleet
+// engine consumes: internal/fleet applies traffic effects when
+// generating each interval's queries, removes or slows instances for
+// fleet effects, and reports kills to internal/cluster (with one
+// interval of detection lag) so re-provisioning happens against the
+// degraded availability.
+//
+// Everything is deterministic: a compiled timeline is a pure function
+// of the scenario and geometry, and all stochastic thinning downstream
+// draws from the engine's seeded streams, so a (scenario, seed) pair
+// replays bit-identically.
+package scenario

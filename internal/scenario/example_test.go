@@ -1,0 +1,47 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"hercules/internal/scenario"
+)
+
+// ExampleNamed lists the built-in scenarios and prints the flash
+// crowd's event timeline.
+func ExampleNamed() {
+	fmt.Println(scenario.Names())
+	sc, _ := scenario.Named("flashcrowd")
+	fmt.Print(sc.Summary())
+	// Output:
+	// [baseline degrade failure flashcrowd regionshift shed]
+	// flashcrowd: 1 event(s)
+	//   12.50h-15.50h load x2.50 on all (0.50h ramps)
+}
+
+// ExampleCompile evaluates a custom scenario against an hourly
+// one-day replay geometry and reads the per-interval effects the fleet
+// engine consumes.
+func ExampleCompile() {
+	sc, err := scenario.FromJSON([]byte(`{"name":"drill","events":[
+		{"kind":"spike","start_h":12,"end_h":16,"ramp_h":1,"factor":3},
+		{"kind":"kill","start_h":9,"end_h":12,"type":"T2","frac":0.5}]}`))
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	tl, err := scenario.Compile(sc, 24, 3600, map[string]int{"T2": 60, "T7": 4})
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	for _, i := range []int{8, 10, 12, 14} {
+		eff := tl.At(i)
+		fmt.Printf("hour %d: load x%.1f, %d dead T2 servers\n",
+			i, eff.Load("DLRM-RMC1"), eff.KilledOf("T2"))
+	}
+	// Output:
+	// hour 8: load x1.0, 0 dead T2 servers
+	// hour 10: load x1.0, 30 dead T2 servers
+	// hour 12: load x2.0, 0 dead T2 servers
+	// hour 14: load x3.0, 0 dead T2 servers
+}

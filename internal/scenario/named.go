@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Built-in scenarios, designed against the default diurnal day (peak at
+// hour 20, valley near hour 8): each one stresses the serving stack at
+// a time when interval provisioning is lean, so the divergence from the
+// baseline replay is attributable to the scenario, not to raw fleet
+// exhaustion.
+var named = map[string]Scenario{
+	// baseline is the unperturbed diurnal replay.
+	"baseline": {Name: "baseline"},
+
+	// flashcrowd: a mid-day ×2.5 arrival spike with half-hour ramps —
+	// load that outruns the provisioner's headroom between scheduled
+	// re-provisioning intervals (a viral item, a push notification).
+	"flashcrowd": {Name: "flashcrowd", Events: []Event{
+		{Kind: Spike, StartH: 12.5, EndH: 15.5, RampH: 0.5, Factor: 2.5},
+	}},
+
+	// regionshift: a regional failover rotates the arrival mix — +25%
+	// load carrying 1.5× heavier queries for six hours, so effective
+	// capacity drops even where the QPS signal barely moves.
+	"regionshift": {Name: "regionshift", Events: []Event{
+		{Kind: Spike, StartH: 10, EndH: 16, Factor: 1.25},
+		{Kind: MixShift, StartH: 10, EndH: 16, Factor: 1.5},
+	}},
+
+	// failure: 30% of every server type dies at hour 9 and comes back
+	// at hour 15 (a rack power event spanning the climb toward peak).
+	"failure": {Name: "failure", Events: []Event{
+		{Kind: Kill, StartH: 9, EndH: 15, Frac: 0.3},
+	}},
+
+	// degrade: every server throttles to 60% service rate for the busy
+	// half of the day — invisible to the control plane, which keeps
+	// provisioning against healthy-server capacities.
+	"degrade": {Name: "degrade", Events: []Event{
+		{Kind: Derate, StartH: 8, EndH: 18, Factor: 0.6},
+	}},
+
+	// shed: a load-shedding drill drops 20% of arrivals across the
+	// evening peak, measuring how much tail relief admission control
+	// buys at a known sacrifice.
+	"shed": {Name: "shed", Events: []Event{
+		{Kind: Shed, StartH: 18, EndH: 22, Factor: 0.2},
+	}},
+}
+
+// Names lists the built-in scenarios in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(named))
+	for n := range named {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Named returns a built-in scenario by name.
+func Named(name string) (Scenario, error) {
+	s, ok := named[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}

@@ -1,0 +1,394 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind names an event type.
+type Kind string
+
+// Event kinds.
+const (
+	// Spike multiplies a workload's arrival rate by Factor between
+	// StartH and EndH, ramping linearly over RampH on each edge (flash
+	// crowd). Factor > 1 adds load; Factor < 1 models a regional drain.
+	Spike Kind = "spike"
+	// MixShift multiplies a workload's query-size distribution median
+	// by Factor (regional failover rotates the arrival mix: the same
+	// QPS suddenly carries heavier queries, so effective capacity drops
+	// without the load signal moving).
+	MixShift Kind = "mixshift"
+	// Kill takes servers out of the fleet between StartH and EndH:
+	// Count servers of an explicitly named Type, or Frac of each
+	// selected type's fleet (Frac composes with the empty wildcard
+	// Type; Count requires a concrete Type so the casualty total is
+	// unambiguous). Killed servers vanish from serving immediately and
+	// from the provisioner's availability once the control plane
+	// notices.
+	Kill Kind = "kill"
+	// Derate slows servers of a type to Factor of their service rate
+	// (thermal throttling, a noisy neighbour, a failing NIC). The
+	// control plane does not see derates; only tails reveal them.
+	Derate Kind = "derate"
+	// Shed drops Factor of a workload's arrivals at admission (a
+	// load-shedding drill): shed queries never reach a server and are
+	// accounted separately from queue-full drops.
+	Shed Kind = "shed"
+)
+
+// Event is one timeline entry of a scenario: an effect of the given
+// kind active on [StartH, EndH) hours into the replay. Model restricts
+// traffic effects to one workload (empty = all workloads); Type
+// restricts fleet effects to one server type (empty = all types).
+type Event struct {
+	Kind   Kind    `json:"kind"`
+	StartH float64 `json:"start_h"`
+	EndH   float64 `json:"end_h"`
+	// RampH linearly interpolates a Spike's factor from 1 over the
+	// leading and trailing RampH hours inside the active window.
+	RampH  float64 `json:"ramp_h,omitempty"`
+	Model  string  `json:"model,omitempty"`
+	Type   string  `json:"type,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Count  int     `json:"count,omitempty"`
+	Frac   float64 `json:"frac,omitempty"`
+}
+
+// Validate checks one event's fields.
+func (e Event) Validate() error {
+	if e.EndH <= e.StartH {
+		return fmt.Errorf("scenario: %s event ends (%.2fh) before it starts (%.2fh)", e.Kind, e.EndH, e.StartH)
+	}
+	if e.StartH < 0 {
+		return fmt.Errorf("scenario: %s event starts before hour 0", e.Kind)
+	}
+	switch e.Kind {
+	case Spike, MixShift:
+		if e.Factor <= 0 {
+			return fmt.Errorf("scenario: %s event needs factor > 0", e.Kind)
+		}
+		if e.RampH < 0 || 2*e.RampH > e.EndH-e.StartH {
+			return fmt.Errorf("scenario: %s ramp %.2fh does not fit the %.2fh window", e.Kind, e.RampH, e.EndH-e.StartH)
+		}
+	case Kill:
+		if e.Count <= 0 && (e.Frac <= 0 || e.Frac > 1) {
+			return fmt.Errorf("scenario: kill event needs count > 0 or frac in (0,1]")
+		}
+		if e.Count > 0 && e.Type == "" {
+			return fmt.Errorf("scenario: kill event with count needs an explicit server type (use frac for fleet-wide kills)")
+		}
+	case Derate:
+		if e.Factor <= 0 || e.Factor >= 1 {
+			return fmt.Errorf("scenario: derate factor must be in (0,1), got %g", e.Factor)
+		}
+	case Shed:
+		if e.Factor <= 0 || e.Factor >= 1 {
+			return fmt.Errorf("scenario: shed fraction must be in (0,1), got %g", e.Factor)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Scenario is a named list of events.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event.
+func (s Scenario) Validate() error {
+	for i, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Active reports whether the scenario perturbs the replay at all.
+func (s Scenario) Active() bool { return len(s.Events) > 0 }
+
+// FromJSON parses a scenario spec: either a {"name":..., "events":[...]}
+// object or a bare [...] event array (named "custom").
+func FromJSON(data []byte) (Scenario, error) {
+	trimmed := strings.TrimSpace(string(data))
+	var s Scenario
+	if strings.HasPrefix(trimmed, "[") {
+		s.Name = "custom"
+		if err := json.Unmarshal(data, &s.Events); err != nil {
+			return s, fmt.Errorf("scenario: %w", err)
+		}
+	} else if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("scenario: %w", err)
+	}
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	return s, s.Validate()
+}
+
+// Summary renders a one-line-per-event description.
+func (s Scenario) Summary() string {
+	if !s.Active() {
+		return s.Name + ": steady diurnal baseline (no events)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d event(s)\n", s.Name, len(s.Events))
+	for _, e := range s.Events {
+		scope := e.Model
+		if e.Kind == Kill || e.Kind == Derate {
+			scope = e.Type
+		}
+		if scope == "" {
+			scope = "all"
+		}
+		switch e.Kind {
+		case Kill:
+			if e.Count > 0 {
+				fmt.Fprintf(&sb, "  %5.2fh-%5.2fh kill %d %s server(s)\n", e.StartH, e.EndH, e.Count, scope)
+			} else {
+				fmt.Fprintf(&sb, "  %5.2fh-%5.2fh kill %.0f%% of %s servers\n", e.StartH, e.EndH, e.Frac*100, scope)
+			}
+		case Derate:
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh derate %s servers to %.0f%% rate\n", e.StartH, e.EndH, scope, e.Factor*100)
+		case Shed:
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh shed %.0f%% of %s arrivals\n", e.StartH, e.EndH, e.Factor*100, scope)
+		case MixShift:
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh shift %s query-size mix x%.2f\n", e.StartH, e.EndH, scope, e.Factor)
+		default:
+			ramp := ""
+			if e.RampH > 0 {
+				ramp = fmt.Sprintf(" (%.2fh ramps)", e.RampH)
+			}
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh load x%.2f on %s%s\n", e.StartH, e.EndH, e.Factor, scope, ramp)
+		}
+	}
+	return sb.String()
+}
+
+// Effects is the compiled per-interval view of a scenario: what the
+// fleet engine must apply while replaying one trace interval. The zero
+// value is a no-op. Traffic maps are keyed by model name with "" for
+// "every workload"; fleet maps are keyed by concrete server type ("" is
+// expanded against the fleet at compile time). Use the accessors — they
+// compose the wildcard and the named entry.
+type Effects struct {
+	LoadScale  map[string]float64
+	SizeScale  map[string]float64
+	ShedFrac   map[string]float64
+	Killed     map[string]int
+	DerateFrac map[string]float64
+}
+
+// Load returns the arrival-rate multiplier for one model (default 1).
+func (e Effects) Load(model string) float64 { return scaleOf(e.LoadScale, model) }
+
+// Size returns the query-size-distribution multiplier for one model
+// (default 1).
+func (e Effects) Size(model string) float64 { return scaleOf(e.SizeScale, model) }
+
+// Shed returns the admission-drop fraction for one model (default 0).
+func (e Effects) Shed(model string) float64 {
+	if e.ShedFrac == nil {
+		return 0
+	}
+	// Independent sheds compose: surviving fraction is the product.
+	keep := (1 - e.ShedFrac[""]) * (1 - e.ShedFrac[model])
+	return 1 - keep
+}
+
+// KilledOf returns how many servers of the type are down.
+func (e Effects) KilledOf(serverType string) int { return e.Killed[serverType] }
+
+// DerateOf returns the service-rate multiplier of the type (default 1).
+func (e Effects) DerateOf(serverType string) float64 {
+	if e.DerateFrac == nil {
+		return 1
+	}
+	if f, ok := e.DerateFrac[serverType]; ok {
+		return f
+	}
+	return 1
+}
+
+// TotalKilled sums the killed servers across types.
+func (e Effects) TotalKilled() int {
+	sum := 0
+	for _, n := range e.Killed {
+		sum += n
+	}
+	return sum
+}
+
+// SameFleetState reports whether two effects agree on everything the
+// control plane can observe about the fleet (the killed-server map).
+// The engine re-provisions early when this changes between intervals —
+// health checks notice dead servers; they do not notice derates.
+func (e Effects) SameFleetState(o Effects) bool {
+	if len(e.Killed) != len(o.Killed) {
+		return false
+	}
+	for t, n := range e.Killed {
+		if o.Killed[t] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func scaleOf(m map[string]float64, key string) float64 {
+	if m == nil {
+		return 1
+	}
+	s := 1.0
+	if v, ok := m[""]; ok {
+		s *= v
+	}
+	if v, ok := m[key]; ok {
+		s *= v
+	}
+	return s
+}
+
+// Timeline is a scenario compiled against a concrete replay geometry:
+// one Effects per trace interval, evaluated at the interval midpoint.
+type Timeline struct {
+	Name    string
+	effects []Effects
+}
+
+// Compile evaluates the scenario's events over steps intervals of stepS
+// seconds. fleetCounts (server type → fleet size) resolves fractional
+// and wildcard Kill/Derate events; pass the counts of the fleet the
+// replay provisions from.
+func Compile(s Scenario, steps int, stepS float64, fleetCounts map[string]int) (*Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 || stepS <= 0 {
+		return nil, fmt.Errorf("scenario: bad geometry (%d steps of %gs)", steps, stepS)
+	}
+	types := make([]string, 0, len(fleetCounts))
+	for t := range fleetCounts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+
+	tl := &Timeline{Name: s.Name, effects: make([]Effects, steps)}
+	for i := range tl.effects {
+		midH := (float64(i) + 0.5) * stepS / 3600
+		eff := &tl.effects[i]
+		for _, ev := range s.Events {
+			if midH < ev.StartH || midH >= ev.EndH {
+				continue
+			}
+			switch ev.Kind {
+			case Spike:
+				mulScale(&eff.LoadScale, ev.Model, rampFactor(ev, midH))
+			case MixShift:
+				mulScale(&eff.SizeScale, ev.Model, ev.Factor)
+			case Shed:
+				if eff.ShedFrac == nil {
+					eff.ShedFrac = make(map[string]float64)
+				}
+				keep := (1 - eff.ShedFrac[ev.Model]) * (1 - ev.Factor)
+				eff.ShedFrac[ev.Model] = 1 - keep
+			case Kill:
+				for _, t := range expandTypes(ev.Type, types) {
+					n := ev.Count
+					if n <= 0 {
+						n = int(math.Round(ev.Frac * float64(fleetCounts[t])))
+					}
+					if n <= 0 {
+						continue
+					}
+					if eff.Killed == nil {
+						eff.Killed = make(map[string]int)
+					}
+					eff.Killed[t] = min(eff.Killed[t]+n, fleetCounts[t])
+				}
+			case Derate:
+				for _, t := range expandTypes(ev.Type, types) {
+					if eff.DerateFrac == nil {
+						eff.DerateFrac = make(map[string]float64)
+					}
+					f := ev.Factor
+					if prev, ok := eff.DerateFrac[t]; ok {
+						f *= prev
+					}
+					eff.DerateFrac[t] = f
+				}
+			}
+		}
+	}
+	return tl, nil
+}
+
+// rampFactor interpolates a spike's factor linearly across its edges.
+func rampFactor(ev Event, h float64) float64 {
+	f := ev.Factor
+	if ev.RampH <= 0 {
+		return f
+	}
+	if d := h - ev.StartH; d < ev.RampH {
+		return 1 + (f-1)*d/ev.RampH
+	}
+	if d := ev.EndH - h; d < ev.RampH {
+		return 1 + (f-1)*d/ev.RampH
+	}
+	return f
+}
+
+func mulScale(m *map[string]float64, key string, f float64) {
+	if *m == nil {
+		*m = make(map[string]float64)
+	}
+	if prev, ok := (*m)[key]; ok {
+		f *= prev
+	}
+	(*m)[key] = f
+}
+
+func expandTypes(sel string, all []string) []string {
+	if sel == "" {
+		return all
+	}
+	return []string{sel}
+}
+
+// At returns the effects for interval i (a no-op Effects outside the
+// compiled range, so callers need not bounds-check).
+func (t *Timeline) At(i int) Effects {
+	if t == nil || i < 0 || i >= len(t.effects) {
+		return Effects{}
+	}
+	return t.effects[i]
+}
+
+// Steps returns the number of compiled intervals.
+func (t *Timeline) Steps() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.effects)
+}
+
+// Active reports whether any interval carries a non-trivial effect.
+func (t *Timeline) Active() bool {
+	if t == nil {
+		return false
+	}
+	for _, e := range t.effects {
+		if len(e.LoadScale) > 0 || len(e.SizeScale) > 0 || len(e.ShedFrac) > 0 ||
+			len(e.Killed) > 0 || len(e.DerateFrac) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamedScenariosValidate(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("Named(%q).Name = %q", name, s.Name)
+		}
+		if _, err := Compile(s, 96, 900, map[string]int{"T2": 60, "T3": 12}); err != nil {
+			t.Errorf("compile %s: %v", name, err)
+		}
+	}
+	if _, err := Named("no-such"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	bad := []Event{
+		{Kind: Spike, StartH: 2, EndH: 1, Factor: 2},
+		{Kind: Spike, StartH: 0, EndH: 1, Factor: 0},
+		{Kind: Spike, StartH: 0, EndH: 1, RampH: 0.6, Factor: 2},
+		{Kind: Kill, StartH: 0, EndH: 1},
+		{Kind: Kill, StartH: 0, EndH: 1, Frac: 1.5},
+		{Kind: Kill, StartH: 0, EndH: 1, Count: 5}, // count needs an explicit type
+		{Kind: Derate, StartH: 0, EndH: 1, Factor: 1.2},
+		{Kind: Shed, StartH: 0, EndH: 1, Factor: 1},
+		{Kind: "bogus", StartH: 0, EndH: 1},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("event %d (%+v) accepted", i, e)
+		}
+	}
+}
+
+func TestSpikeRampInterpolation(t *testing.T) {
+	s := Scenario{Name: "t", Events: []Event{
+		{Kind: Spike, StartH: 2, EndH: 6, RampH: 1, Factor: 3},
+	}}
+	// Hourly intervals: midpoints at 0.5h, 1.5h, ...
+	tl, err := Compile(s, 8, 3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		i    int
+		want float64
+	}{
+		{1, 1}, // before the event
+		{2, 2}, // 2.5h: halfway up the ramp → 1 + (3-1)*0.5
+		{3, 3}, // plateau
+		{4, 3}, // plateau
+		{5, 2}, // 5.5h: halfway down
+		{6, 1}, // after
+	}
+	for _, c := range cases {
+		if got := tl.At(c.i).Load("DLRM-RMC1"); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("interval %d: load scale %.3f, want %.3f", c.i, got, c.want)
+		}
+	}
+	if tl.At(-1).Load("x") != 1 || tl.At(99).Load("x") != 1 {
+		t.Error("out-of-range At must be a no-op")
+	}
+}
+
+func TestKillFracAndWildcardExpansion(t *testing.T) {
+	s := Scenario{Events: []Event{
+		{Kind: Kill, StartH: 0, EndH: 1, Frac: 0.25},
+		{Kind: Kill, StartH: 0, EndH: 1, Type: "T3", Count: 2},
+	}}
+	tl, err := Compile(s, 1, 3600, map[string]int{"T2": 8, "T3": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := tl.At(0)
+	if got := eff.KilledOf("T2"); got != 2 {
+		t.Errorf("T2 killed = %d, want 2 (25%% of 8)", got)
+	}
+	if got := eff.KilledOf("T3"); got != 3 {
+		t.Errorf("T3 killed = %d, want 3 (25%% of 4 = 1, plus 2)", got)
+	}
+	if got := eff.TotalKilled(); got != 5 {
+		t.Errorf("TotalKilled = %d, want 5", got)
+	}
+	// Kills cap at the fleet size.
+	s.Events[1].Count = 99
+	tl, _ = Compile(s, 1, 3600, map[string]int{"T2": 8, "T3": 4})
+	if got := tl.At(0).KilledOf("T3"); got != 4 {
+		t.Errorf("capped T3 killed = %d, want 4", got)
+	}
+}
+
+func TestEffectComposition(t *testing.T) {
+	s := Scenario{Events: []Event{
+		{Kind: Spike, StartH: 0, EndH: 1, Factor: 2},                     // all models
+		{Kind: Spike, StartH: 0, EndH: 1, Model: "DLRM-RMC1", Factor: 3}, // one model
+		{Kind: Shed, StartH: 0, EndH: 1, Factor: 0.5},
+		{Kind: Shed, StartH: 0, EndH: 1, Model: "DLRM-RMC1", Factor: 0.5},
+		{Kind: Derate, StartH: 0, EndH: 1, Type: "T2", Factor: 0.5},
+		{Kind: Derate, StartH: 0, EndH: 1, Type: "T2", Factor: 0.5},
+	}}
+	tl, err := Compile(s, 1, 3600, map[string]int{"T2": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := tl.At(0)
+	if got := eff.Load("DLRM-RMC1"); got != 6 {
+		t.Errorf("RMC1 load scale = %g, want 6 (2*3)", got)
+	}
+	if got := eff.Load("DLRM-RMC2"); got != 2 {
+		t.Errorf("RMC2 load scale = %g, want 2", got)
+	}
+	if got := eff.Shed("DLRM-RMC1"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("RMC1 shed = %g, want 0.75", got)
+	}
+	if got := eff.Shed("DLRM-RMC2"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("RMC2 shed = %g, want 0.5", got)
+	}
+	if got := eff.DerateOf("T2"); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("T2 derate = %g, want 0.25", got)
+	}
+	if got := eff.DerateOf("T9"); got != 1 {
+		t.Errorf("unmentioned type derate = %g, want 1", got)
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	s, err := FromJSON([]byte(`{"name":"drill","events":[
+		{"kind":"spike","start_h":1,"end_h":2,"factor":2},
+		{"kind":"kill","start_h":1,"end_h":2,"type":"T2","count":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "drill" || len(s.Events) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	s, err = FromJSON([]byte(`[{"kind":"shed","start_h":0,"end_h":1,"factor":0.1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "custom" || len(s.Events) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := FromJSON([]byte(`{"events":[{"kind":"spike","start_h":2,"end_h":1}]}`)); err == nil {
+		t.Error("invalid event accepted")
+	}
+	if _, err := FromJSON([]byte(`{nope`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestTimelineActive(t *testing.T) {
+	base, _ := Named("baseline")
+	tl, err := Compile(base, 24, 3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Active() {
+		t.Error("baseline timeline reports active")
+	}
+	fc, _ := Named("flashcrowd")
+	tl, err = Compile(fc, 24, 3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.Active() {
+		t.Error("flashcrowd timeline reports inactive")
+	}
+	var nilTL *Timeline
+	if nilTL.Active() || nilTL.Steps() != 0 || nilTL.At(0).Load("x") != 1 {
+		t.Error("nil timeline must behave as a no-op")
+	}
+}
+
+func TestSameFleetState(t *testing.T) {
+	a := Effects{Killed: map[string]int{"T2": 3}}
+	b := Effects{Killed: map[string]int{"T2": 3}}
+	c := Effects{Killed: map[string]int{"T2": 4}}
+	if !a.SameFleetState(b) || a.SameFleetState(c) || a.SameFleetState(Effects{}) {
+		t.Error("SameFleetState comparisons wrong")
+	}
+	if !(Effects{}).SameFleetState(Effects{DerateFrac: map[string]float64{"T2": 0.5}}) {
+		t.Error("derates must be invisible to the fleet-state comparison")
+	}
+}

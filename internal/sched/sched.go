@@ -1,15 +1,3 @@
-// Package sched implements Hercules' SLA- and power-aware task-scheduling
-// exploration (§IV-B): the gradient-based search of Algorithm 1 over the
-// parallelism space Psp(M+D+O), the sparse–dense pipeline equilibrium
-// search (Fig. 12), and the baseline schedulers it is compared against —
-// DeepRecSys [37] (data-parallelism only on CPUs) and Baymax [32] (model
-// co-location only on accelerators).
-//
-// Every candidate configuration is scored by its latency-bounded
-// throughput (internal/sim.FindCapacity) subject to the SLA latency
-// target and, optionally, a provisioned power budget. Evaluations are
-// memoized; neighbouring configurations warm-start each other's capacity
-// bracket.
 package sched
 
 import (

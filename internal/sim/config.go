@@ -1,14 +1,3 @@
-// Package sim simulates recommendation inference serving on one server:
-// the query dispatcher, batching queues, co-located inference threads,
-// sparse–dense pipelines, and accelerator offload of Fig. 3 and Fig. 10.
-//
-// The simulator advances virtual time with a deterministic FCFS
-// "waterfall": queries are processed in arrival order, each stage
-// reserves its resources (CPU threads, the PCIe link, the GPU engine)
-// at the earliest feasible instant, and batch service times come from
-// internal/costmodel. This is equivalent to a discrete-event simulation
-// of a non-preemptive FCFS system and costs O(Q·log) per run, fast
-// enough for the thousands of runs the schedulers' searches need.
 package sim
 
 import (

@@ -1,0 +1,53 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/sim"
+	"hercules/internal/workload"
+)
+
+// ExampleDeepRecSysCPU simulates a short Poisson stream on one T2
+// server under the DeepRecSys baseline task-scheduling configuration
+// and checks the serving outcome against the model's SLA.
+func ExampleDeepRecSysCPU() {
+	m := model.DLRMRMC1(model.Prod)
+	srv := hw.ServerType("T2")
+	cfg := sim.DeepRecSysCPU(srv, 128)
+
+	queries := workload.NewGenerator(m, 300, 42).Until(2) // 2 s at 300 QPS
+	s := sim.New(srv, m)
+	res, err := s.Simulate(cfg, queries, 2)
+	if err != nil {
+		fmt.Println("simulate:", err)
+		return
+	}
+	fmt.Printf("queries: %d\n", len(queries))
+	fmt.Printf("p95 under 2x SLA: %v\n", res.P95MS < 2*m.SLATargetMS)
+	fmt.Printf("tail ordering sane: %v\n", res.P50MS <= res.P95MS && res.P95MS <= res.P99MS)
+	// Output:
+	// queries: 621
+	// p95 under 2x SLA: true
+	// tail ordering sane: true
+}
+
+// ExampleServer_FindCapacity measures the latency-bounded throughput of
+// the same pair — the capacity metric every profiling and provisioning
+// stage optimizes.
+func ExampleServer_FindCapacity() {
+	m := model.DLRMRMC1(model.Prod)
+	srv := hw.ServerType("T2")
+	s := sim.New(srv, m)
+	c, err := s.FindCapacity(sim.DeepRecSysCPU(srv, 128), m.SLATargetMS, 42)
+	if err != nil {
+		fmt.Println("capacity:", err)
+		return
+	}
+	fmt.Printf("capacity positive: %v\n", c.QPS > 0)
+	fmt.Printf("tail within SLA at capacity: %v\n", c.At.TailMS <= m.SLATargetMS)
+	// Output:
+	// capacity positive: true
+	// tail within SLA at capacity: true
+}

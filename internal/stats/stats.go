@@ -1,9 +1,3 @@
-// Package stats provides small statistical utilities used throughout the
-// Hercules simulator: percentile estimation over sample sets, fixed-bin
-// histograms, running means, and deterministic RNG construction.
-//
-// All simulator randomness flows through rand.Rand instances created by
-// NewRand so that every experiment is reproducible given its seed.
 package stats
 
 import (

@@ -1,0 +1,23 @@
+// Package workload synthesizes the load that drives the Hercules
+// simulators: per-query working-set sizes with the production heavy tail
+// (Fig. 2b), per-table pooling factors (Fig. 2c), Poisson query arrivals
+// (§I), and the synchronous diurnal cluster load traces (Fig. 2d).
+//
+// The paper uses production Meta traces; we substitute parameterized
+// distributions with the same shape (see DESIGN.md §2). All draws are
+// deterministic given the generator's seed.
+//
+// The surface:
+//
+//   - Query / Generator — one inference request (items to rank, arrival
+//     instant, pooling multiplier) and the seeded Poisson stream that
+//     produces them;
+//   - QuerySizeDist — the clamped-lognormal size distribution whose
+//     heavy tail makes per-query cost variance matter (the fleet
+//     engine's scenario mix-shift events rescale exactly this);
+//   - DiurnalTrace / Synthesize — the day-scale load curve the cluster
+//     provisioner and fleet engine replay, plus EstimateOverProvisionR
+//     for §IV-C's history-profiled headroom;
+//   - PoolingFactors — per-table pooling draws for the cost model;
+//   - EvolutionMix — the Fig. 16 model-evolution load rotation.
+package workload

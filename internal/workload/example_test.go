@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"hercules/internal/workload"
+)
+
+// ExampleSynthesize builds one day of the synchronized diurnal load
+// trace (Fig. 2d) and verifies its shape: 15-minute sampling, the peak
+// at the configured hour, and the >50% peak-to-valley fluctuation the
+// paper reports.
+func ExampleSynthesize() {
+	cfg := workload.DefaultDiurnal("ranking", 10000, 1, 42)
+	trace := workload.Synthesize(cfg)
+	fmt.Printf("steps: %d (every %.0f min)\n", trace.Steps(), trace.StepS/60)
+	fmt.Printf("fluctuation > 50%%: %v\n", (trace.Peak()-trace.Valley())/trace.Peak() > 0.5)
+	fmt.Printf("peak within 5%% of configured: %v\n", trace.Peak() > 9500 && trace.Peak() < 10500)
+	// Output:
+	// steps: 96 (every 15 min)
+	// fluctuation > 50%: true
+	// peak within 5% of configured: true
+}

@@ -1,11 +1,3 @@
-// Package workload synthesizes the load that drives the Hercules
-// simulators: per-query working-set sizes with the production heavy tail
-// (Fig. 2b), per-table pooling factors (Fig. 2c), Poisson query arrivals
-// (§I), and the synchronous diurnal cluster load traces (Fig. 2d).
-//
-// The paper uses production Meta traces; we substitute parameterized
-// distributions with the same shape (see DESIGN.md §2). All draws are
-// deterministic given the generator's seed.
 package workload
 
 import (
