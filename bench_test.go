@@ -8,6 +8,11 @@
 //
 //	go test -bench=. -benchmem
 //
+// For machine-readable reports and regression gating against the
+// committed BENCH_fleet.json baseline, run the suite through the
+// harness instead: `go run ./cmd/hercules-bench` (see
+// internal/perfbench and the Performance section of EXPERIMENTS.md).
+//
 // Individual figures: go test -bench=BenchmarkFig14 etc. The expensive
 // shared artifact (the Fig. 9b efficiency table over 6 models × 10
 // server types) is built once per process and reused by the Fig. 8 /
@@ -239,8 +244,12 @@ func BenchmarkHeadline_HerculesVsGreedy(b *testing.B) {
 
 // BenchmarkFleetDay locks in the fleet engine's performance target: a
 // single-router replay of a full diurnal day (24 hourly intervals,
-// ~1M routed queries) at cluster scale must complete in seconds. The
-// one-time serving-table calibration runs outside the timer.
+// ~1M routed queries) at cluster scale must complete in a few hundred
+// milliseconds. The one-time serving-table calibration runs outside
+// the timer; the first iteration additionally fills the shared
+// service-time grids, which is why hercules-bench gates on
+// per-repetition minima. CI compares this benchmark's report against
+// BENCH_fleet.json via `hercules-bench -compare` on every push.
 func BenchmarkFleetDay(b *testing.B) {
 	if _, err := experiments.FleetTable(); err != nil {
 		b.Fatal(err)

@@ -1,0 +1,121 @@
+// Command hercules-bench is the repo's performance harness: it runs a
+// named subset of the benchmark suite (bench_test.go) for several
+// repetitions, aggregates ns/op, allocs/op and the domain counters
+// (queries replayed per second) into a machine-readable JSON report,
+// and optionally gates the result against a committed baseline.
+//
+// Usage:
+//
+//	hercules-bench [-bench BenchmarkFleetDay] [-pkg .] [-count 3]
+//	               [-benchtime 1x] [-timeout 30m] [-out BENCH_fleet.json]
+//	               [-input fresh.json] [-compare baseline.json]
+//	               [-threshold 15%] [-alloc-threshold 10%] [-quiet]
+//
+// Typical flows:
+//
+//	record a baseline:   hercules-bench -count 5 -out BENCH_fleet.json
+//	gate a change (CI):  hercules-bench -count 3 -out fresh.json \
+//	                         -compare BENCH_fleet.json -threshold 15%
+//	re-gate a report:    hercules-bench -input fresh.json -compare BENCH_fleet.json
+//
+// With -compare, ns/op is gated against -threshold and allocs/op +
+// B/op against -alloc-threshold, all on per-repetition minima (the
+// first in-process repetition pays one-time cache fills; minima are
+// the steady state). "off" disables either gate. Exit status: 0 pass, 1 regression,
+// 2 harness error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hercules/internal/perfbench"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkFleetDay", "benchmark regexp handed to go test -bench")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		count     = flag.Int("count", 3, "repetitions (go test -count)")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime")
+		timeout   = flag.String("timeout", "30m", "go test -timeout")
+		out       = flag.String("out", "", "write the aggregated JSON report here")
+		input     = flag.String("input", "", "load a prior report instead of running benchmarks")
+		compare   = flag.String("compare", "", "baseline JSON report to gate against")
+		threshold = flag.String("threshold", "15%", "allowed ns/op growth over baseline (\"off\" disables)")
+		allocThr  = flag.String("alloc-threshold", "10%", "allowed allocs/op and B/op growth (\"off\" disables)")
+		quiet     = flag.Bool("quiet", false, "suppress go test output passthrough")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: hercules-bench [flags]")
+		fmt.Fprintln(os.Stderr, "Runs the benchmark suite, writes a machine-readable report, and gates")
+		fmt.Fprintln(os.Stderr, "regressions against a committed baseline (exit 1 on regression).")
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	os.Exit(run(*bench, *pkg, *count, *benchtime, *timeout, *out, *input, *compare, *threshold, *allocThr, *quiet))
+}
+
+func run(bench, pkg string, count int, benchtime, timeout, out, input, compare, threshold, allocThr string, quiet bool) int {
+	timeFrac, err := perfbench.ParseFraction(threshold)
+	if err != nil {
+		return fail(err)
+	}
+	allocFrac, err := perfbench.ParseFraction(allocThr)
+	if err != nil {
+		return fail(err)
+	}
+
+	var fresh *perfbench.Report
+	if input != "" {
+		if fresh, err = perfbench.Load(input); err != nil {
+			return fail(err)
+		}
+	} else {
+		cfg := perfbench.RunConfig{Pkg: pkg, Bench: bench, BenchTime: benchtime, Count: count, Timeout: timeout}
+		if !quiet {
+			cfg.Stdout = os.Stderr
+		}
+		if fresh, err = perfbench.Run(cfg); err != nil {
+			return fail(err)
+		}
+	}
+	for _, b := range fresh.Benchmarks {
+		ns := b.Metrics["ns/op"]
+		fmt.Printf("%s: %d reps, best %.0f ns/op, mean %.0f allocs/op", b.Name, b.Reps, ns.Min, b.Metrics["allocs/op"].Mean)
+		if qps, ok := b.Metrics["queries_per_sec"]; ok {
+			fmt.Printf(", %.3g queries/sec", qps.Max)
+		}
+		fmt.Println()
+	}
+	if out != "" {
+		if err := fresh.WriteFile(out); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(fresh.Benchmarks))
+	}
+	if compare == "" {
+		return 0
+	}
+
+	base, err := perfbench.Load(compare)
+	if err != nil {
+		return fail(err)
+	}
+	deltas := perfbench.Compare(base, fresh, perfbench.Thresholds{Time: timeFrac, Alloc: allocFrac})
+	fmt.Printf("\ncomparison against %s:\n%s", compare, perfbench.FormatDeltas(deltas))
+	if regs := perfbench.Regressions(deltas); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "hercules-bench: %d regression(s) past threshold\n", len(regs))
+		return 1
+	}
+	fmt.Println("no regressions")
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "hercules-bench:", err)
+	return 2
+}

@@ -173,7 +173,7 @@ func hostGatherBW(p Params, srv hw.Server, coThreads, opWorkers int) float64 {
 // denseWork carries the dense-phase durations for list scheduling.
 type denseWork struct {
 	ids        []int
-	dur        map[int]float64
+	dur        []float64 // indexed by op ID (IDs index g.Ops)
 	totalDur   float64
 	totalFLOPs float64
 	totalBytes float64
@@ -181,7 +181,7 @@ type denseWork struct {
 
 // denseDurations computes per-op durations for the dense ops of `ids`.
 func denseDurations(p Params, srv hw.Server, g *model.Graph, ids []int, n float64, coThreads int) denseWork {
-	w := denseWork{dur: make(map[int]float64)}
+	w := denseWork{dur: make([]float64, len(g.Ops))}
 	eta := 1 / (1 + p.InterferenceKappa*float64(coThreads-1))
 	coreFLOPS := srv.CPU.PeakCoreFLOPS() * p.CPUEff * eta
 	// Weight streams come from DRAM only when the thread's working set
@@ -225,11 +225,11 @@ func denseDurations(p Params, srv hw.Server, g *model.Graph, ids []int, n float6
 // thread pool uses.
 func listSchedule(g *model.Graph, w denseWork, workers int) float64 {
 	order := g.TopoOrder(w.ids)
-	in := make(map[int]bool, len(w.ids))
+	in := make([]bool, len(g.Ops))
 	for _, id := range w.ids {
 		in[id] = true
 	}
-	finish := make(map[int]float64, len(order))
+	finish := make([]float64, len(g.Ops))
 	free := make([]float64, workers)
 	var makespan float64
 	for _, id := range order {

@@ -85,10 +85,18 @@ func FleetWorkloads(table *profiler.Table, seed int64) []cluster.Workload {
 
 // fleetOpts is the experiment tuning: default engine options with the
 // per-interval query budget lowered so the full router × policy sweep
-// stays fast.
+// stays fast. Shards is pinned to 1 (instead of the runtime.NumCPU()
+// default): sharding statically partitions each model's instances and
+// traffic, so routing quality degrades with shard count — the recorded
+// tables score routers on whole-pool routing — and pinning makes
+// replay results and BenchmarkFleetDay's allocation profile (which the
+// CI gate bounds within 10%) identical on every machine. The replay
+// still flows through the worker pool; TestFleetDayDeterminism covers
+// the many-shard parallel path.
 func fleetOpts(seed int64) fleet.Options {
 	opts := fleet.DefaultOptions()
 	opts.MaxQueriesPerInterval = 40000
+	opts.Shards = 1
 	opts.Seed = seed
 	return opts
 }

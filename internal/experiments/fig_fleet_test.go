@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"hercules/internal/cluster"
 	"hercules/internal/fleet"
 )
 
@@ -87,5 +90,51 @@ func TestFleetTableCalibrates(t *testing.T) {
 	// (the Fig. 15 ordering the router's weights rely on).
 	if table.MustGet("T3", "DLRM-RMC1").QPS <= table.MustGet("T2", "DLRM-RMC1").QPS {
 		t.Error("NMP (T3) must outrun DDR4 (T2) on DLRM-RMC1")
+	}
+}
+
+// TestFleetDayDeterminism is the golden determinism guard for the
+// parallel replay: two BenchmarkFleetDay-configuration runs with the
+// same seed — worker pool enabled — must produce byte-identical
+// summary reports, and the parallel replay must be byte-identical to
+// the sequential one (shard RNG streams are seeded per (interval,
+// model, shard), so scheduling order must never leak into results).
+// Deliberately not skipped in -short mode: this is the CI witness that
+// the hot-path optimizations keep seeded replays reproducible.
+func TestFleetDayDeterminism(t *testing.T) {
+	table, err := FleetTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sequential bool) []byte {
+		t.Helper()
+		opts := fleetOpts(Seed)
+		// Eight shards per model regardless of host core count: the
+		// byte-identity claim must hold for genuinely sharded replays,
+		// not just the single-shard experiment configuration.
+		opts.Shards = 8
+		opts.Sequential = sequential
+		eng := fleet.NewEngine(FleetFleet(), table, cluster.Hercules, fleet.PowerOfTwo, opts)
+		eng.Provisioner.OverProvisionR = 0.15
+		day, err := eng.RunDay(FleetWorkloads(table, Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	par1, par2, seq := run(false), run(false), run(true)
+	if !bytes.Equal(par1, par2) {
+		t.Error("two parallel replays with the same seed diverged")
+	}
+	if !bytes.Equal(par1, seq) {
+		t.Error("parallel replay diverged from sequential replay")
+	}
+	var day fleet.DayResult
+	if err := json.Unmarshal(par1, &day); err != nil || day.TotalQueries == 0 {
+		t.Fatalf("replay produced no traffic: %v (queries=%d)", err, day.TotalQueries)
 	}
 }

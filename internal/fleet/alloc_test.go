@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"testing"
+
+	"hercules/internal/stats"
+)
+
+// The replay hot path — route decision plus queue admission — must not
+// allocate: instance state lives in preallocated index-based float64
+// heaps (no container/heap interface boxing) and the per-pair
+// service-time samplers are resolved before the loop. At ~1M routed
+// queries per simulated day, even one allocation per decision puts the
+// garbage collector back on the critical path.
+
+func TestRouterPickZeroAlloc(t *testing.T) {
+	for _, kind := range AllRouters {
+		insts := constInstances(8, "T2", 0.010, 100, 32)
+		for _, in := range insts {
+			in.Reset()
+			in.Arrive(0, 100, 1) // outstanding work so state-aware routers scan heaps
+		}
+		router := kind.New()
+		rng := stats.NewRand(7)
+		now := 0.0
+		avg := testing.AllocsPerRun(200, func() {
+			router.Pick(insts, now, rng)
+			now += 1e-4
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.2f allocs per route decision, want 0", kind, avg)
+		}
+	}
+}
+
+func TestRouteAndArriveZeroAlloc(t *testing.T) {
+	for _, kind := range AllRouters {
+		insts := constInstances(4, "T2", 0.010, 100, 32)
+		router := kind.New()
+		rng := stats.NewRand(11)
+		now := 0.0
+		for _, in := range insts {
+			in.Reset()
+		}
+		avg := testing.AllocsPerRun(500, func() {
+			pick := router.Pick(insts, now, rng)
+			insts[pick].Arrive(now, 100, 1)
+			now += 2e-3
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.2f allocs per routed admission, want 0", kind, avg)
+		}
+	}
+}

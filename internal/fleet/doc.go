@@ -41,4 +41,14 @@
 // model's instances and query stream across a runtime.NumCPU()-sized
 // worker pool; shard assignment is drawn deterministically, so
 // parallel and sequential replays produce identical results.
+//
+// The replay loop is engineered to stay off the allocator and the
+// garbage collector: instance queues are index-based float64 min-heaps
+// over preallocated slices, per-pair service times are precomputed on
+// a dense grid shared process-wide (SharedSimService) and resolved to
+// a direct sampler per instance, and shard tasks plus merge buffers
+// are pooled across intervals. Route decisions and admissions are
+// zero-alloc (guarded by alloc_test.go); BENCH_fleet.json at the repo
+// root records the benchmarked baseline cmd/hercules-bench gates CI
+// against.
 package fleet

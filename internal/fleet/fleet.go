@@ -78,6 +78,39 @@ type Engine struct {
 	idleW     map[string]float64
 	instSeq   int
 	baseOverR float64
+	scratch   replayScratch
+}
+
+// replayScratch holds the buffers one RunDay reuses across intervals so
+// the replay loop stops allocating after the first interval: the query
+// generation buffer, the shard task pool, and the latency merge
+// buffers. An Engine must not run concurrent RunDays (it never could —
+// the provisioner and autoscaler are also per-engine state).
+type replayScratch struct {
+	queries  []workload.Query
+	shards   []*shardWork // grown on demand, reused each interval
+	used     int
+	tasks    []*shardWork
+	winBuf   []float64
+	modelBuf []float64
+	allBuf   []float64
+	breached []bool
+
+	// Bounded worker pool for one RunDay: workers drain work and tick
+	// wg once per completed shard.
+	work chan *shardWork
+	wg   sync.WaitGroup
+}
+
+// shard hands out the next pooled shardWork, growing the pool on first
+// use of each slot.
+func (sc *replayScratch) shard() *shardWork {
+	if sc.used == len(sc.shards) {
+		sc.shards = append(sc.shards, &shardWork{})
+	}
+	sw := sc.shards[sc.used]
+	sc.used++
+	return sw
 }
 
 // NewEngine assembles an engine with the default SimService source and
@@ -89,7 +122,7 @@ func NewEngine(fleet hw.Fleet, table *profiler.Table, policy cluster.Policy, rou
 		Table:       table,
 		Provisioner: cluster.NewProvisioner(fleet, table, policy, opts.Seed),
 		Router:      router,
-		Service:     NewSimService(table),
+		Service:     SharedSimService(table),
 		Scaler:      NewAutoscaler(),
 		Opts:        opts,
 	}
@@ -218,6 +251,30 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	}
 	stepS := ws[0].Trace.StepS
 	every := max(e.Opts.ReprovisionEvery, 1)
+
+	// One bounded worker pool serves the whole day: started here, fed a
+	// batch of independent shards per interval, drained at return. Shard
+	// RNG streams are seeded per (interval, model, shard), so scheduling
+	// order cannot leak into results.
+	if !e.Opts.Sequential {
+		// Capped at 16: shard counts rarely exceed Shards × models, and
+		// an unbounded pool would make the replay's (small, gated)
+		// allocation profile scale with the host's core count.
+		workers := min(runtime.NumCPU(), 16)
+		e.scratch.work = make(chan *shardWork, workers)
+		for w := 0; w < workers; w++ {
+			go func(work <-chan *shardWork) {
+				for t := range work {
+					t.run()
+					e.scratch.wg.Done()
+				}
+			}(e.scratch.work)
+		}
+		defer func() {
+			close(e.scratch.work)
+			e.scratch.work = nil
+		}()
+	}
 
 	var insts map[string][]*Instance
 	var active cluster.StepResult
@@ -389,18 +446,31 @@ func (e *Engine) buildInstances(alloc cluster.Allocation) map[string][]*Instance
 				continue
 			}
 			conc := e.concurrency(h, m, entry.QPS)
+			svc := e.pairService(h, m)
 			for k := 0; k < row[m]; k++ {
-				ht, mt := h, m
-				in := NewInstance(e.instSeq, h, m, entry.QPS, conc, e.Opts.QueueCap,
-					func(size int, scale float64) float64 {
-						return e.Service.ServiceS(ht, mt, size, scale)
-					})
+				in := NewInstance(e.instSeq, h, m, entry.QPS, conc, e.Opts.QueueCap, svc)
 				out[m] = append(out[m], in)
 				e.instSeq++
 			}
 		}
 	}
 	return out
+}
+
+// pairService resolves the per-query service-time function for a
+// (server type, model) pair once, at instance-build time. Sources that
+// implement PairSource hand back their precomputed sampler directly —
+// the replay loop then never pays a per-query pair lookup; other
+// sources fall back to a closure over the generic ServiceS path.
+func (e *Engine) pairService(serverType, modelName string) func(size int, scale float64) float64 {
+	if ps, ok := e.Service.(PairSource); ok {
+		if f := ps.PairService(serverType, modelName); f != nil {
+			return f
+		}
+	}
+	return func(size int, scale float64) float64 {
+		return e.Service.ServiceS(serverType, modelName, size, scale)
+	}
 }
 
 // concurrency calibrates an instance's service channels so that its
@@ -442,6 +512,8 @@ func (e *Engine) idleWatts(serverType string) float64 {
 
 // shardWork is one (model, shard) replay task: a disjoint slice of the
 // model's instances plus the queries deterministically thinned onto it.
+// Shard tasks are pooled by replayScratch and reused across intervals;
+// reset re-arms one, keeping its backing arrays.
 type shardWork struct {
 	modelName string
 	slaMS     float64
@@ -459,11 +531,32 @@ type shardWork struct {
 	dropped  int
 }
 
+// reset re-arms a pooled shard for an interval with the given window
+// count, reusing every backing array.
+func (w *shardWork) reset(windows int) {
+	w.insts = w.insts[:0]
+	w.queries = w.queries[:0]
+	w.dropped = 0
+	w.windows = windows
+	for cap(w.winLatS) < windows {
+		w.winLatS = append(w.winLatS[:cap(w.winLatS)], nil)
+	}
+	w.winLatS = w.winLatS[:windows]
+	for i := range w.winLatS {
+		w.winLatS[i] = w.winLatS[i][:0]
+	}
+	if cap(w.winDrops) < windows {
+		w.winDrops = make([]int, windows)
+	}
+	w.winDrops = w.winDrops[:windows]
+	for i := range w.winDrops {
+		w.winDrops[i] = 0
+	}
+}
+
 func (w *shardWork) run() {
 	router := w.kind.New()
 	rng := stats.NewRand(w.seed)
-	w.winLatS = make([][]float64, w.windows)
-	w.winDrops = make([]int, w.windows)
 	for _, in := range w.insts {
 		in.Reset()
 	}
@@ -522,28 +615,32 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	// Build shard tasks: queries are generated sequentially per model
 	// and thinned onto shards by deterministic draws, which preserves
 	// the Poisson property per shard and makes parallel replay
-	// bit-identical to sequential replay.
+	// bit-identical to sequential replay. Shard structs, query slices
+	// and window buckets all come from the engine's scratch pool.
 	shardCap := e.Opts.Shards
 	if shardCap <= 0 {
 		shardCap = runtime.NumCPU()
 	}
-	var tasks []*shardWork
-	perModel := make(map[string][]*shardWork, len(names))
+	scr := &e.scratch
+	scr.used = 0
+	scr.tasks = scr.tasks[:0]
+	starts := make([]int, len(names)+1)
 	for mi, m := range names {
 		pool := insts[m]
 		sla := e.models[m].SLATargetMS
 		n := max(min(shardCap, len(pool)), 1)
-		shards := make([]*shardWork, n)
+		starts[mi] = len(scr.tasks)
 		for s := 0; s < n; s++ {
-			shards[s] = &shardWork{
-				modelName: m,
-				slaMS:     sla,
-				kind:      e.Router,
-				seed:      mixSeed(e.Opts.Seed, int64(idx), int64(mi)<<8|int64(s)),
-				windowW:   windowW,
-				windows:   windows,
-			}
+			sh := scr.shard()
+			sh.reset(windows)
+			sh.modelName = m
+			sh.slaMS = sla
+			sh.kind = e.Router
+			sh.seed = mixSeed(e.Opts.Seed, int64(idx), int64(mi)<<8|int64(s))
+			sh.windowW = windowW
+			scr.tasks = append(scr.tasks, sh)
 		}
+		shards := scr.tasks[starts[mi]:]
 		for j, in := range pool {
 			shards[j%n].insts = append(shards[j%n].insts, in)
 		}
@@ -553,12 +650,13 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			// query sc× heavier without touching the arrival process.
 			gen.Sizes.Mu += math.Log(sc)
 		}
-		queries := gen.Until(sliceS)
+		queries := gen.AppendUntil(scr.queries[:0], sliceS)
+		scr.queries = queries[:0]
 		if frac := eff.Shed(m); frac > 0 {
 			// Admission control drops a deterministic Bernoulli thinning
-			// of the stream; shed queries never reach a router.
+			// of the stream (in place); shed queries never reach a router.
 			shedR := stats.NewRand(mixSeed(e.Opts.Seed, 0x5ed0+int64(idx), int64(mi)))
-			kept := make([]workload.Query, 0, len(queries))
+			kept := queries[:0]
 			for _, q := range queries {
 				if shedR.Float64() < frac {
 					ist.Shed++
@@ -576,36 +674,27 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			}
 			shards[s].queries = append(shards[s].queries, q)
 		}
-		perModel[m] = shards
-		tasks = append(tasks, shards...)
 	}
+	starts[len(names)] = len(scr.tasks)
 
-	// Execute: worker pool over shards, or in place when sequential.
-	if e.Opts.Sequential || len(tasks) == 1 {
-		for _, t := range tasks {
+	// Execute: the day's bounded worker pool, or in place when
+	// sequential (results are bit-identical either way).
+	if scr.work == nil || len(scr.tasks) == 1 {
+		for _, t := range scr.tasks {
 			t.run()
 		}
 	} else {
-		work := make(chan *shardWork)
-		var wg sync.WaitGroup
-		for w := 0; w < min(runtime.NumCPU(), len(tasks)); w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range work {
-					t.run()
-				}
-			}()
+		scr.wg.Add(len(scr.tasks))
+		for _, t := range scr.tasks {
+			scr.work <- t
 		}
-		for _, t := range tasks {
-			work <- t
-		}
-		close(work)
-		wg.Wait()
+		scr.wg.Wait()
 	}
 
 	// Merge: per-model windowed tails drive breach verdicts; the
-	// aggregate distribution drives the interval percentiles.
+	// aggregate distribution drives the interval percentiles. Latencies
+	// flow through reused flat buffers — window, model, interval — each
+	// sorted once for its percentile reads.
 	tailPct, slaFactor := 95.0, 1.0
 	if e.Scaler != nil {
 		if e.Scaler.TailPct > 0 {
@@ -615,35 +704,46 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			slaFactor = e.Scaler.SLAFactor
 		}
 	}
-	breached := make([]bool, windows)
-	all := stats.NewSample(1024)
-	for _, m := range names {
-		shards := perModel[m]
+	for cap(scr.breached) < windows {
+		scr.breached = append(scr.breached[:cap(scr.breached)], false)
+	}
+	breached := scr.breached[:windows]
+	for i := range breached {
+		breached[i] = false
+	}
+	allBuf := scr.allBuf[:0]
+	for mi, m := range names {
+		shards := scr.tasks[starts[mi]:starts[mi+1]]
 		sla := e.models[m].SLATargetMS
-		mSample := stats.NewSample(1024)
+		mBuf := scr.modelBuf[:0]
 		for w := 0; w < windows; w++ {
-			win := stats.NewSample(64)
+			winBuf := scr.winBuf[:0]
 			drops := 0
 			for _, sh := range shards {
 				for _, l := range sh.winLatS[w] {
-					win.Add(l * 1e3)
-					mSample.Add(l * 1e3)
-					all.Add(l * 1e3)
+					winBuf = append(winBuf, l*1e3)
 				}
 				drops += sh.winDrops[w]
 			}
-			if drops > 0 || (win.Len() > 0 && win.Percentile(tailPct) > sla*slaFactor) {
+			mBuf = append(mBuf, winBuf...)
+			if drops > 0 || (len(winBuf) > 0 && stats.PercentileSelect(winBuf, tailPct) > sla*slaFactor) {
 				breached[w] = true
 			}
+			scr.winBuf = winBuf[:0]
 		}
 		for _, sh := range shards {
 			ist.Queries += len(sh.queries)
 			ist.Drops += sh.dropped
 		}
-		ist.ModelP95MS[m] = mSample.P95()
-		ist.ModelP99MS[m] = mSample.P99()
+		allBuf = append(allBuf, mBuf...)
+		ist.ModelP95MS[m] = stats.PercentileSelect(mBuf, 95)
+		ist.ModelP99MS[m] = stats.PercentileSelect(mBuf, 99)
+		scr.modelBuf = mBuf[:0]
 	}
-	ist.P50MS, ist.P95MS, ist.P99MS = all.P50(), all.P95(), all.P99()
+	ist.P50MS = stats.PercentileSelect(allBuf, 50)
+	ist.P95MS = stats.PercentileSelect(allBuf, 95)
+	ist.P99MS = stats.PercentileSelect(allBuf, 99)
+	scr.allBuf = allBuf[:0]
 	for _, b := range breached {
 		if b {
 			ist.WindowsBreached++

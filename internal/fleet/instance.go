@@ -1,9 +1,6 @@
 package fleet
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Instance is one activated server in the fleet: an M/G/c/(c+K) queue
 // whose per-query service times come from a ServiceSource. Concurrency
@@ -29,9 +26,13 @@ type Instance struct {
 
 	svc func(size int, scale float64) float64
 
-	// Virtual-time state for one replay slice.
-	free  []float64 // per-channel next-free instants
-	comps compHeap  // completion times of outstanding queries
+	// Virtual-time state for one replay slice. Both heaps are plain
+	// float64 min-heaps maintained by the sift helpers below —
+	// container/heap would box every completion instant into an
+	// interface and turn the replay's innermost loop into an allocation
+	// per query.
+	free  []float64 // min-heap of per-channel next-free instants
+	comps []float64 // min-heap of outstanding completion times, cap c+K
 	busyS float64   // accumulated channel-seconds of service
 	// Served/Dropped count this slice's admissions and rejections.
 	Served, Dropped int
@@ -54,6 +55,7 @@ func NewInstance(id int, serverType, modelName string, weight float64, concurren
 		QueueCap:    queueCap,
 		svc:         svc,
 		free:        make([]float64, concurrency),
+		comps:       make([]float64, 0, concurrency+queueCap),
 	}
 }
 
@@ -81,10 +83,15 @@ func (in *Instance) Reset() {
 // Outstanding returns the number of admitted queries not yet complete
 // at the given instant.
 func (in *Instance) Outstanding(now float64) int {
-	for len(in.comps) > 0 && in.comps[0] <= now {
-		heap.Pop(&in.comps)
+	h := in.comps
+	for len(h) > 0 && h[0] <= now {
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		siftDown(h, 0)
 	}
-	return len(in.comps)
+	in.comps = h
+	return len(h)
 }
 
 // Utilization returns the mean busy fraction of the instance's service
@@ -109,33 +116,51 @@ func (in *Instance) Arrive(now float64, size int, scale float64) (doneAt float64
 		in.Dropped++
 		return 0, true
 	}
-	// Earliest-free channel, non-preemptive FCFS.
-	ch := 0
-	for i := 1; i < len(in.free); i++ {
-		if in.free[i] < in.free[ch] {
-			ch = i
-		}
+	// Earliest-free channel, non-preemptive FCFS: the heap root is the
+	// channel that frees first. Which tied channel wins is irrelevant —
+	// only the multiset of free instants feeds back into the replay.
+	start := now
+	if in.free[0] > now {
+		start = in.free[0]
 	}
-	start := math.Max(now, in.free[ch])
 	done := start + s
-	in.free[ch] = done
+	in.free[0] = done
+	siftDown(in.free, 0)
 	in.busyS += s
-	heap.Push(&in.comps, done)
+	in.comps = append(in.comps, done)
+	siftUp(in.comps, len(in.comps)-1)
 	in.Served++
 	return done, false
 }
 
-// compHeap is a min-heap of completion instants.
-type compHeap []float64
+// siftUp restores the min-heap property after appending at index i.
+func siftUp(h []float64, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
 
-func (h compHeap) Len() int           { return len(h) }
-func (h compHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h compHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *compHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *compHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// siftDown restores the min-heap property after replacing index i.
+func siftDown(h []float64, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			least = r
+		}
+		if h[i] <= h[least] {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }

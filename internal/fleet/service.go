@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hercules/internal/hw"
 	"hercules/internal/model"
@@ -35,14 +36,25 @@ type ServiceSource interface {
 	ServiceS(serverType, modelName string, size int, scale float64) float64
 }
 
+// PairSource is an optional fast path a ServiceSource may implement:
+// PairService resolves the (server type, model) pair once and returns a
+// sampler the engine installs directly on each instance, so the replay
+// loop never pays a per-query pair lookup. A nil return (unknown pair)
+// sends the engine back to the generic ServiceS path.
+type PairSource interface {
+	PairService(serverType, modelName string) func(size int, scale float64) float64
+}
+
 // SimService derives service times from the existing per-server
 // simulator (internal/sim): each (server type, model) pair is served
 // under the task-scheduling configuration recorded in the profiler
 // efficiency table, and a query's service time is the latency the
-// simulator reports for that single query on an idle server. Results
-// are memoized on quantized (size, scale) buckets, so a full day of
+// simulator reports for that single query on an idle server.
+//
+// Service times are precomputed on a dense (size bucket × scale bucket)
+// grid per pair — filled lazily, read lock-free — so a full day of
 // millions of queries costs only a few hundred cost-model evaluations
-// per pair.
+// per pair and the replay hot path is two table indexes.
 type SimService struct {
 	table *profiler.Table
 
@@ -55,13 +67,73 @@ type pairKey struct {
 	model  string
 }
 
-// pairSim is the per-(server type, model) simulator with its memo.
+// The query-size ladder: geometric ~12%-wide buckets keep the sampler
+// grid small (≈74 buckets up to ladderMaxSize) while staying within the
+// cost model's accuracy. sizeIdxTab maps a raw size to its ladder
+// index, sizeRepTab maps a ladder index to the representative size the
+// simulator is evaluated at — both precomputed once so the per-query
+// path does no log/pow math.
+const (
+	sizeLadder    = 1.12
+	ladderMaxSize = 4096
+	scaleBuckets  = 32
+)
+
+var (
+	sizeIdxTab [ladderMaxSize + 1]int16
+	sizeRepTab []int
+	ladderLen  int
+)
+
+func init() {
+	ladderLen = ladderIdx(ladderMaxSize) + 1
+	sizeRepTab = make([]int, ladderLen)
+	for b := 0; b < ladderLen; b++ {
+		sizeRepTab[b] = max(int(math.Round(math.Pow(sizeLadder, float64(b)))), 1)
+	}
+	for s := 0; s <= ladderMaxSize; s++ {
+		sizeIdxTab[s] = int16(ladderIdx(s))
+	}
+}
+
+// ladderIdx computes a size's ladder index the slow way (used to build
+// the tables and for out-of-range sizes).
+func ladderIdx(size int) int {
+	if size <= 1 {
+		return 0
+	}
+	return int(math.Round(math.Log(float64(size)) / math.Log(sizeLadder)))
+}
+
+func sizeBucket(size int) int {
+	if size >= 0 && size <= ladderMaxSize {
+		return sizeRepTab[sizeIdxTab[size]]
+	}
+	return max(int(math.Round(math.Pow(sizeLadder, float64(ladderIdx(size))))), 1)
+}
+
+// scaleBucket quantizes sparse scales to eighths, like internal/sim's
+// cost memo.
+func scaleBucket(scale float64) int {
+	return stats.ClampInt(int(math.Round(scale*8)), 1, scaleBuckets)
+}
+
+// pairSim is the per-(server type, model) simulator with its
+// precomputed service-time grid. vals[idx*scaleBuckets+sb-1] holds the
+// service time for ladder index idx and scale bucket sb; ready flags
+// gate lock-free reads (the value is published before its flag, so an
+// acquire-load of the flag makes the value visible).
 type pairSim struct {
 	srv *sim.Server
 	cfg sim.Config
 
-	mu   sync.Mutex
-	memo map[int64]float64
+	mu    sync.Mutex
+	vals  []float64
+	ready []atomic.Bool
+
+	// overflow memoizes sizes beyond the ladder (never produced by the
+	// workload generators, but ReplaySlice accepts arbitrary queries).
+	overflow map[int64]float64
 }
 
 // NewSimService builds a service source over the given efficiency
@@ -70,6 +142,27 @@ type pairSim struct {
 // conservative default serving configuration).
 func NewSimService(table *profiler.Table) *SimService {
 	return &SimService{table: table, pairs: make(map[pairKey]*pairSim)}
+}
+
+// sharedServices caches one SimService per efficiency table, so every
+// engine replaying against the same table shares the precomputed
+// service-time grids instead of re-simulating them. Grid entries are
+// pure functions of the (pair, size bucket, scale bucket) key, so
+// sharing cannot leak state between runs — provided the table is not
+// mutated after its first engine runs. Callers that edit table entries
+// mid-process (table.Set after a replay) must install a fresh
+// NewSimService on the engine themselves; the shared cache
+// deliberately never invalidates.
+var sharedServices sync.Map // *profiler.Table -> *SimService
+
+// SharedSimService returns the process-wide SimService for the table.
+// The table is treated as immutable from the first call on.
+func SharedSimService(table *profiler.Table) *SimService {
+	if s, ok := sharedServices.Load(table); ok {
+		return s.(*SimService)
+	}
+	s, _ := sharedServices.LoadOrStore(table, NewSimService(table))
+	return s.(*SimService)
 }
 
 // pair returns (building lazily) the simulator for one pair.
@@ -94,7 +187,12 @@ func (s *SimService) pair(serverType, modelName string) (*pairSim, error) {
 			cfg = e.Cfg
 		}
 	}
-	ps := &pairSim{srv: sim.New(srv, m), cfg: cfg, memo: make(map[int64]float64)}
+	ps := &pairSim{
+		srv:   sim.New(srv, m),
+		cfg:   cfg,
+		vals:  make([]float64, ladderLen*scaleBuckets),
+		ready: make([]atomic.Bool, ladderLen*scaleBuckets),
+	}
 	s.pairs[k] = ps
 	return ps, nil
 }
@@ -110,47 +208,59 @@ func (s *SimService) ServiceS(serverType, modelName string, size int, scale floa
 	return ps.serviceS(size, scale)
 }
 
-// Geometric size-bucket ladder: ~12%-wide bins keep the memo small
-// (≈45 bins over [10, 1000]) while staying within the cost model's
-// accuracy.
-const sizeLadder = 1.12
-
-func sizeBucket(size int) int {
-	if size <= 1 {
-		return 1
+// PairService implements PairSource.
+func (s *SimService) PairService(serverType, modelName string) func(size int, scale float64) float64 {
+	ps, err := s.pair(serverType, modelName)
+	if err != nil {
+		return nil
 	}
-	b := math.Round(math.Log(float64(size)) / math.Log(sizeLadder))
-	rep := int(math.Round(math.Pow(sizeLadder, b)))
-	return max(rep, 1)
-}
-
-// scaleBucket quantizes sparse scales to eighths, like internal/sim's
-// cost memo.
-func scaleBucket(scale float64) int {
-	return stats.ClampInt(int(math.Round(scale*8)), 1, 32)
+	return ps.serviceS
 }
 
 func (p *pairSim) serviceS(size int, scale float64) float64 {
-	repSize := sizeBucket(size)
 	sb := scaleBucket(scale)
-	key := int64(repSize)<<8 | int64(sb)
+	if size < 0 || size > ladderMaxSize {
+		return p.overflowServiceS(size, sb)
+	}
+	cell := int(sizeIdxTab[size])*scaleBuckets + sb - 1
+	if p.ready[cell].Load() {
+		return p.vals[cell]
+	}
 	p.mu.Lock()
-	if v, ok := p.memo[key]; ok {
-		p.mu.Unlock()
+	defer p.mu.Unlock()
+	if !p.ready[cell].Load() {
+		p.vals[cell] = p.simulate(sizeRepTab[sizeIdxTab[size]], sb)
+		p.ready[cell].Store(true)
+	}
+	return p.vals[cell]
+}
+
+// overflowServiceS serves sizes beyond the precomputed ladder from a
+// mutex-guarded memo (cold path; production workloads never reach it).
+func (p *pairSim) overflowServiceS(size, sb int) float64 {
+	rep := sizeBucket(size)
+	key := int64(rep)<<8 | int64(sb)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.overflow[key]; ok {
 		return v
 	}
-	p.mu.Unlock()
+	if p.overflow == nil {
+		p.overflow = make(map[int64]float64)
+	}
+	v := p.simulate(rep, sb)
+	p.overflow[key] = v
+	return v
+}
 
+// simulate measures one idle-server query at the bucket representative.
+func (p *pairSim) simulate(repSize, sb int) float64 {
 	q := workload.Query{ID: 1, ArrivalS: 0, Size: repSize, SparseScale: float64(sb) / 8}
 	res, err := p.srv.Simulate(p.cfg, []workload.Query{q}, 1)
-	v := math.Inf(1)
 	if err == nil && res.MeanMS > 0 {
-		v = res.MeanMS / 1e3
+		return res.MeanMS / 1e3
 	}
-	p.mu.Lock()
-	p.memo[key] = v
-	p.mu.Unlock()
-	return v
+	return math.Inf(1)
 }
 
 // meanServiceS estimates the expected per-query service time of a pair

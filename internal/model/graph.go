@@ -294,17 +294,36 @@ func (g *Graph) CriticalPathFLOPs(ids []int) float64 {
 // BuildGraph already emits ops topologically, but partitioned sub-graphs
 // re-derive order after filtering.
 func (g *Graph) TopoOrder(ids []int) []int {
-	in := make(map[int]bool, len(ids))
+	// Op IDs index g.Ops, so the bookkeeping lives in flat slices with a
+	// CSR successor table instead of maps — this runs once per cost-model
+	// evaluation, thousands of times during a serving-table calibration
+	// or a fleet service-grid fill, and hashing dominated it.
+	n := len(g.Ops)
+	in := make([]bool, n)
 	for _, id := range ids {
 		in[id] = true
 	}
-	indeg := make(map[int]int, len(ids))
-	succ := make(map[int][]int, len(ids))
+	indeg := make([]int, n)
+	off := make([]int, n+1)
 	for _, id := range ids {
 		for _, dep := range g.Ops[id].DependsOn {
 			if in[dep] {
 				indeg[id]++
-				succ[dep] = append(succ[dep], id)
+				off[dep+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	succ := make([]int, off[n])
+	fill := make([]int, n)
+	copy(fill, off[:n])
+	for _, id := range ids {
+		for _, dep := range g.Ops[id].DependsOn {
+			if in[dep] {
+				succ[fill[dep]] = id
+				fill[dep]++
 			}
 		}
 	}
@@ -320,7 +339,7 @@ func (g *Graph) TopoOrder(ids []int) []int {
 		id := ready[0]
 		ready = ready[1:]
 		order = append(order, id)
-		next := succ[id]
+		next := succ[off[id]:fill[id]]
 		sort.Ints(next)
 		for _, s := range next {
 			indeg[s]--

@@ -1,0 +1,155 @@
+package perfbench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Thresholds sets the allowed growth per metric family, as fractions
+// (0.15 = +15%). A negative fraction disables that family's gate.
+type Thresholds struct {
+	// Time gates "ns/op", compared on per-repetition minima: the
+	// fastest repetition is the least noisy estimate of a benchmark's
+	// true cost, so scheduler hiccups in other repetitions cannot fail
+	// the build.
+	Time float64
+	// Alloc gates "allocs/op" and "B/op", also on per-repetition
+	// minima: steady-state allocations are near-deterministic, but the
+	// first repetition in a process additionally pays one-time cache
+	// fills (the fleet service-time grids), which must not trip the
+	// gate.
+	Alloc float64
+}
+
+// Delta is one gated comparison between baseline and fresh.
+type Delta struct {
+	Bench   string  `json:"bench"`
+	Metric  string  `json:"metric"`
+	Base    float64 `json:"base"`
+	Fresh   float64 `json:"fresh"`
+	Ratio   float64 `json:"ratio"` // fresh / base (0 when base is 0)
+	Limit   float64 `json:"limit"` // max allowed ratio
+	Regress bool    `json:"regress"`
+	// Missing marks a baseline benchmark absent from the fresh run —
+	// a silently vanished guard counts as a regression.
+	Missing bool `json:"missing,omitempty"`
+}
+
+// Compare gates every baseline benchmark against the fresh report.
+// Benchmarks only present in the fresh report pass silently (new
+// benchmarks need no baseline); benchmarks only present in the
+// baseline regress (the guard must not vanish unnoticed).
+func Compare(base, fresh *Report, th Thresholds) []Delta {
+	var out []Delta
+	for _, bb := range base.Benchmarks {
+		fb := fresh.Find(bb.Name)
+		if fb == nil {
+			out = append(out, Delta{Bench: bb.Name, Missing: true, Regress: true})
+			continue
+		}
+		out = append(out, compareMetric(&bb, fb, "ns/op", th.Time, minOf)...)
+		out = append(out, compareMetric(&bb, fb, "allocs/op", th.Alloc, minOf)...)
+		out = append(out, compareMetric(&bb, fb, "B/op", th.Alloc, minOf)...)
+	}
+	return out
+}
+
+func minOf(s Stat) float64 { return s.Min }
+
+func compareMetric(base, fresh *Bench, unit string, frac float64, point func(Stat) float64) []Delta {
+	if frac < 0 {
+		return nil
+	}
+	bs, ok := base.Metrics[unit]
+	if !ok {
+		return nil
+	}
+	d := Delta{Bench: base.Name, Metric: unit, Base: point(bs), Limit: 1 + frac}
+	fs, ok := fresh.Metrics[unit]
+	if !ok {
+		// A gated metric that vanished from the fresh report (say, a
+		// run without -benchmem) is a disappeared guard, not a pass.
+		d.Missing = true
+		d.Regress = true
+		return []Delta{d}
+	}
+	d.Fresh = point(fs)
+	if d.Base > 0 {
+		d.Ratio = d.Fresh / d.Base
+		d.Regress = d.Ratio > d.Limit
+	} else {
+		// A zero baseline (e.g. zero allocs) regresses on any growth.
+		d.Regress = d.Fresh > 0
+	}
+	return []Delta{d}
+}
+
+// Regressions filters the deltas that failed their gate.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders a comparison table for terminal output.
+func FormatDeltas(deltas []Delta) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark\tmetric\tbase\tfresh\tratio\tlimit\tverdict\n")
+	for _, d := range deltas {
+		if d.Missing {
+			metric := d.Metric
+			if metric == "" {
+				metric = "-"
+			}
+			fmt.Fprintf(&sb, "%s\t%s\t-\t-\t-\t-\tMISSING (regression)\n", d.Bench, metric)
+			continue
+		}
+		verdict := "ok"
+		if d.Regress {
+			verdict = "REGRESSION"
+		} else if d.Ratio > 0 && d.Ratio < 1 {
+			verdict = fmt.Sprintf("ok (%.0f%% faster)", (1-d.Ratio)*100)
+		}
+		fmt.Fprintf(&sb, "%s\t%s\t%s\t%s\t%.3f\t%.2f\t%s\n",
+			d.Bench, d.Metric, formatVal(d.Base), formatVal(d.Fresh), d.Ratio, d.Limit, verdict)
+	}
+	return sb.String()
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// ParseFraction reads a threshold flag: "15%", "0.15" and "15" (values
+// above 1 read as percentages) all mean +15%; "off" disables the gate.
+func ParseFraction(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "off") {
+		return -1, nil
+	}
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("perfbench: bad threshold %q", s)
+	}
+	if pct || v > 1 {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("perfbench: negative threshold %q (use \"off\" to disable)", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,30 @@
+// Package perfbench turns `go test -bench` runs into machine-readable
+// performance reports and gates regressions against committed
+// baselines.
+//
+// The repo's benchmark suite (bench_test.go) reports both runtime costs
+// (ns/op, B/op, allocs/op) and domain counters (queries replayed,
+// SLA-violation minutes). perfbench executes a named subset of that
+// suite for several repetitions, parses the standard benchmark output,
+// aggregates each metric's mean/min/max across repetitions, derives
+// throughput counters (queries_per_sec), and serializes the result as
+// JSON (BENCH_fleet.json at the repo root is the committed baseline for
+// the fleet replay hot path).
+//
+// Compare checks a fresh report against a baseline: both wall-clock
+// and allocation metrics are compared on their per-repetition minima
+// (the least noisy point estimate of a benchmark's steady-state cost —
+// first repetitions additionally pay one-time cache fills), each family
+// against its own threshold. cmd/hercules-bench wraps this
+// into the CI gate:
+//
+//	hercules-bench -bench BenchmarkFleetDay -count 3 \
+//	    -out fresh.json -compare BENCH_fleet.json -threshold 15%
+//
+// exits non-zero when the fresh run regresses past the threshold. The
+// methodology follows the disciplined-harness lesson of low-level
+// benchmarking studies (RZBENCH, arXiv:0712.3389; the Broadwell/Cascade
+// Lake characterization, arXiv:2002.03344): performance claims are only
+// durable when the measurement procedure and its baselines are recorded
+// and repeatable.
+package perfbench

@@ -1,0 +1,192 @@
+package perfbench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cannedOutput mimics real -count 3 output: printing benchmarks split
+// the name from the metrics line (their own output interleaves, here
+// including a numeric-looking table row that must not parse), quiet
+// ones keep both on one line with the -N GOMAXPROCS suffix.
+const cannedOutput = `goos: linux
+goarch: amd64
+pkg: hercules
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetDay 	fleet day: 960277 queries, 0.0 violation min
+center	count	frac
+110	42	0.0400
+       1	 200000000 ns/op	         0 drop_pct	    960277 queries	         0 sla_violation_min	15837386 B/op	    2342 allocs/op
+BenchmarkFleetDay 	fleet day: 960277 queries, 0.0 violation min
+       1	 100000000 ns/op	         0 drop_pct	    960277 queries	         0 sla_violation_min	15837386 B/op	    2342 allocs/op
+BenchmarkFleetDay-8 	       1	 300000000 ns/op	         0 drop_pct	    960277 queries	         0 sla_violation_min	15837386 B/op	    2346 allocs/op
+BenchmarkFig13Online_FleetReplay-8 	       1	1500000000 ns/op	         8 router_policy_combos
+PASS
+ok  	hercules	3.755s
+`
+
+func parseCanned(t *testing.T) []Bench {
+	t.Helper()
+	raws, err := Parse(strings.NewReader(cannedOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Aggregate(raws)
+}
+
+func TestParseAndAggregate(t *testing.T) {
+	benches := parseCanned(t)
+	if len(benches) != 2 {
+		t.Fatalf("benches = %d, want 2 (got %+v)", len(benches), benches)
+	}
+	fd := benches[0]
+	if fd.Name != "BenchmarkFleetDay" || fd.Reps != 3 {
+		t.Fatalf("first bench %q reps %d, want BenchmarkFleetDay x3", fd.Name, fd.Reps)
+	}
+	ns := fd.Metrics["ns/op"]
+	if ns.Min != 1e8 || ns.Max != 3e8 || ns.Mean != 2e8 {
+		t.Fatalf("ns/op stat = %+v", ns)
+	}
+	if got := fd.Metrics["allocs/op"]; got.Min != 2342 || got.Max != 2346 {
+		t.Fatalf("allocs/op stat = %+v", got)
+	}
+	// Derived throughput: 960277 queries at 1e8 ns/op best rep.
+	qps := fd.Metrics["queries_per_sec"]
+	if qps.Max < 9.6e6 || qps.Max > 9.7e6 {
+		t.Fatalf("queries_per_sec max = %v, want ~9.6M", qps.Max)
+	}
+	if benches[1].Name != "BenchmarkFig13Online_FleetReplay" {
+		t.Fatalf("second bench %q", benches[1].Name)
+	}
+	if _, ok := benches[1].Metrics["router_policy_combos"]; !ok {
+		t.Fatal("custom ReportMetric counter lost in parsing")
+	}
+}
+
+func TestParseRejectsNoise(t *testing.T) {
+	raws, err := Parse(strings.NewReader("fleet day: 12 queries, 3 drops\nBenchmarkX notanint 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raws) != 0 {
+		t.Fatalf("parsed noise as results: %+v", raws)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(parseCanned(t), "go test -bench X")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Benchmarks) != 2 {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Find("BenchmarkFleetDay") == nil || got.Find("BenchmarkNope") != nil {
+		t.Fatal("Find broken after roundtrip")
+	}
+	if got.Find("BenchmarkFleetDay").Metrics["ns/op"].Mean != 2e8 {
+		t.Fatal("metrics lost precision in roundtrip")
+	}
+}
+
+func report(nsMin, allocsMean float64) *Report {
+	return NewReport([]Bench{{
+		Name: "BenchmarkFleetDay",
+		Reps: 3,
+		Metrics: map[string]Stat{
+			"ns/op":     {Mean: nsMin * 1.2, Min: nsMin, Max: nsMin * 1.5},
+			"allocs/op": {Mean: allocsMean, Min: allocsMean, Max: allocsMean},
+		},
+	}}, "test")
+}
+
+func TestCompareGates(t *testing.T) {
+	th := Thresholds{Time: 0.15, Alloc: 0.10}
+	base := report(1e8, 2342)
+
+	// Within threshold: +10% time, same allocs.
+	if regs := Regressions(Compare(base, report(1.1e8, 2342), th)); len(regs) != 0 {
+		t.Fatalf("within-threshold run regressed: %+v", regs)
+	}
+	// Past the time threshold.
+	regs := Regressions(Compare(base, report(1.2e8, 2342), th))
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got %+v", regs)
+	}
+	// Past the alloc threshold only.
+	regs = Regressions(Compare(base, report(1e8, 3000), th))
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %+v", regs)
+	}
+	// Time gate disabled: the slow run passes.
+	if regs := Regressions(Compare(base, report(5e8, 2342), Thresholds{Time: -1, Alloc: 0.10})); len(regs) != 0 {
+		t.Fatalf("disabled time gate still fired: %+v", regs)
+	}
+	// Improvements never regress.
+	if regs := Regressions(Compare(base, report(0.5e8, 100), th)); len(regs) != 0 {
+		t.Fatalf("improvement regressed: %+v", regs)
+	}
+}
+
+func TestCompareMissingBenchRegresses(t *testing.T) {
+	base := report(1e8, 2342)
+	fresh := NewReport([]Bench{{Name: "BenchmarkOther", Reps: 1, Metrics: map[string]Stat{}}}, "test")
+	regs := Regressions(Compare(base, fresh, Thresholds{Time: 0.15, Alloc: 0.10}))
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("vanished baseline benchmark must regress, got %+v", regs)
+	}
+	out := FormatDeltas(regs)
+	if !strings.Contains(out, "MISSING") {
+		t.Fatalf("missing bench not surfaced:\n%s", out)
+	}
+}
+
+func TestCompareMissingMetricRegresses(t *testing.T) {
+	base := report(1e8, 2342)
+	fresh := NewReport([]Bench{{
+		Name:    "BenchmarkFleetDay",
+		Reps:    3,
+		Metrics: map[string]Stat{"ns/op": {Mean: 1e8, Min: 1e8, Max: 1e8}},
+	}}, "test") // no allocs/op: e.g. a run without -benchmem
+	regs := Regressions(Compare(base, fresh, Thresholds{Time: 0.15, Alloc: 0.10}))
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Metric != "allocs/op" {
+		t.Fatalf("vanished gated metric must regress, got %+v", regs)
+	}
+	if out := FormatDeltas(regs); !strings.Contains(out, "allocs/op") || !strings.Contains(out, "MISSING") {
+		t.Fatalf("missing metric not surfaced:\n%s", out)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := NewReport([]Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {}}}}, "t")
+	fresh := NewReport([]Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {Mean: 1, Min: 1, Max: 1}}}}, "t")
+	regs := Regressions(Compare(base, fresh, Thresholds{Time: 0.15, Alloc: 0.10}))
+	if len(regs) != 1 {
+		t.Fatalf("zero-alloc baseline must regress on any alloc, got %+v", regs)
+	}
+}
+
+func TestParseFraction(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"15%", 0.15}, {"0.15", 0.15}, {"15", 0.15}, {"150%", 1.5}, {"off", -1}, {"0", 0},
+	} {
+		got, err := ParseFraction(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFraction(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5%"} {
+		if _, err := ParseFraction(bad); err == nil {
+			t.Errorf("ParseFraction(%q) must fail", bad)
+		}
+	}
+}

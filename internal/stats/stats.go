@@ -78,28 +78,37 @@ func (s *Sample) ensureSorted() {
 // Percentile returns the p-th percentile (p in [0,100]) using linear
 // interpolation between closest ranks. Returns 0 for an empty sample.
 func (s *Sample) Percentile(p float64) float64 {
-	n := len(s.xs)
+	s.ensureSorted()
+	return PercentileSorted(s.xs, p)
+}
+
+// PercentileSorted returns the p-th percentile (p in [0,100]) of an
+// already-sorted slice, using the same closest-rank interpolation as
+// Sample.Percentile. Hot loops that manage their own buffers (the fleet
+// replay merge) sort once and read several percentiles without paying
+// Sample's bookkeeping.
+func PercentileSorted(xs []float64, p float64) float64 {
+	n := len(xs)
 	if n == 0 {
 		return 0
 	}
 	if n == 1 {
-		return s.xs[0]
+		return xs[0]
 	}
-	s.ensureSorted()
 	if p <= 0 {
-		return s.xs[0]
+		return xs[0]
 	}
 	if p >= 100 {
-		return s.xs[n-1]
+		return xs[n-1]
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // P50, P75, P95 and P99 are convenience accessors for common tail points.

@@ -90,7 +90,14 @@ func (g *Generator) Next() Query {
 
 // Until generates queries until the given virtual time (seconds).
 func (g *Generator) Until(tS float64) []Query {
-	var out []Query
+	return g.AppendUntil(nil, tS)
+}
+
+// AppendUntil generates queries until the given virtual time (seconds),
+// appending to buf and returning the extended slice. Callers replaying
+// many intervals reuse one buffer (buf[:0]) so generation stops
+// allocating after the first interval.
+func (g *Generator) AppendUntil(buf []Query, tS float64) []Query {
 	for {
 		q := g.Next()
 		if q.ArrivalS > tS {
@@ -98,9 +105,9 @@ func (g *Generator) Until(tS float64) []Query {
 			// the caller continues; simplest is to keep it for next call.
 			g.clockS = q.ArrivalS
 			g.nextID--
-			return out
+			return buf
 		}
-		out = append(out, q)
+		buf = append(buf, q)
 	}
 }
 
