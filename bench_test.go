@@ -270,6 +270,33 @@ func BenchmarkFleetDay(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDayBatched is BenchmarkFleetDay with dynamic batching
+// enabled (MaxBatch 16, 2 ms formation wait): the engine derives
+// per-pair batch caps from the measured efficiency curves, so this
+// exercises batch formation, window-expiry flushes and full-batch
+// dispatches on the hot path. CI gates it against BENCH_fleet.json
+// alongside the unbatched baseline — the batcher must stay inside the
+// same allocation envelope.
+func BenchmarkFleetDayBatched(b *testing.B) {
+	if _, err := experiments.FleetTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day, err := experiments.FleetDayBatched(fleet.PowerOfTwo, cluster.Hercules, 16, experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("batched fleet day: %d queries, %.1f violation min, %.2f%% drops\n",
+				day.TotalQueries, day.SLAViolationMin, day.DropFrac*100)
+		}
+		b.ReportMetric(float64(day.TotalQueries), "queries")
+		b.ReportMetric(day.SLAViolationMin, "sla_violation_min")
+		b.ReportMetric(day.DropFrac*100, "drop_pct")
+	}
+}
+
 func BenchmarkFig13Online_FleetReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig13Online(experiments.Seed)

@@ -12,8 +12,8 @@
 //	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
 //	               [-days 1] [-step-min 60] [-peak 0] [-headroom 0.15]
 //	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
-//	               [-shards 0] [-sequential] [-no-autoscale]
-//	               [-seed 42] [-summary] [-pretty]
+//	               [-batch 1] [-batch-wait 2] [-shards 0] [-sequential]
+//	               [-no-autoscale] [-seed 42] [-summary] [-pretty]
 //
 // The -table JSON comes from hercules-profile (full Fig. 9b search).
 // Without -table, each (model, server type) pair is quick-calibrated on
@@ -25,6 +25,14 @@
 // JSON spec file (@events.json), or an inline JSON event array. Every
 // disruption run is paired with a baseline replay of the same router ×
 // policy so the report shows the divergence directly.
+//
+// -batch enables dynamic per-instance batching: each server coalesces
+// up to that many queued queries into one dispatch (waiting at most
+// -batch-wait milliseconds for companions), priced by the simulator's
+// measured batch-efficiency curves; the engine derives each (server
+// type, model) pair's effective cap from its curve and SLA budget, so
+// pairs where batching loses keep serving unbatched. -batch 1 (the
+// default) replays exactly the unbatched engine.
 package main
 
 import (
@@ -72,6 +80,8 @@ func main() {
 		sliceFlag    = flag.Float64("slice", 8, "sampled traffic slice per interval (seconds)")
 		windowFlag   = flag.Float64("window", 1, "tail observation window (seconds)")
 		maxQFlag     = flag.Int("max-queries", 150000, "replayed-query budget per interval")
+		batchFlag    = flag.Int("batch", 1, "dynamic batching: max queries coalesced per dispatch (1 = off)")
+		batchWaitMS  = flag.Float64("batch-wait", 2, "max batch-formation wait in milliseconds")
 		shardsFlag   = flag.Int("shards", 0, "per-model shard fan-out (0 = NumCPU)")
 		seqFlag      = flag.Bool("sequential", false, "disable the parallel worker pool")
 		noScaleFlag  = flag.Bool("no-autoscale", false, "disable the online autoscaler")
@@ -150,6 +160,8 @@ func main() {
 	opts.SliceS = *sliceFlag
 	opts.WindowS = *windowFlag
 	opts.MaxQueriesPerInterval = *maxQFlag
+	opts.MaxBatch = *batchFlag
+	opts.BatchWaitS = *batchWaitMS / 1e3
 	opts.Shards = *shardsFlag
 	opts.Sequential = *seqFlag
 	opts.Seed = *seedFlag

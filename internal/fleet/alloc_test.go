@@ -33,6 +33,37 @@ func TestRouterPickZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestBatchedArriveZeroAlloc extends the zero-alloc guarantee to the
+// dynamic-batching path: batch formation, window-expiry flushes and
+// full-batch dispatches all run on buffers preallocated by
+// EnableBatching and the shard's reusable completions scratch.
+func TestBatchedArriveZeroAlloc(t *testing.T) {
+	const maxBatch = 8
+	eff := make([]float64, maxBatch+1)
+	for i := range eff {
+		eff[i] = 1 - 0.04*float64(i)
+	}
+	for _, kind := range AllRouters {
+		insts := constInstances(4, "T2", 0.010, 100, 32)
+		for _, in := range insts {
+			in.EnableBatching(maxBatch, 0.002, eff)
+			in.Reset()
+		}
+		router := kind.New()
+		rng := stats.NewRand(13)
+		out := make([]Completion, 0, 2*maxBatch)
+		now := 0.0
+		avg := testing.AllocsPerRun(500, func() {
+			pick := router.Pick(insts, now, rng)
+			out, _ = insts[pick].ArriveBatched(now, 100, 1, out[:0])
+			now += 1e-3
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.2f allocs per batched admission, want 0", kind, avg)
+		}
+	}
+}
+
 func TestRouteAndArriveZeroAlloc(t *testing.T) {
 	for _, kind := range AllRouters {
 		insts := constInstances(4, "T2", 0.010, 100, 32)

@@ -8,8 +8,9 @@ package fleet
 // intervals. When Patience consecutive observation windows breach the
 // SLA (tail > SLAFactor × the model's target, or any query dropped),
 // the engine re-provisions at the next interval boundary with the
-// over-provision rate boosted by BoostR; the boost decays after
-// HoldIntervals quiet intervals.
+// over-provision rate boosted by BoostR; the boost stays in force for
+// exactly HoldIntervals intervals (the triggered re-provision plus
+// HoldIntervals−1 quiet ones), then decays.
 type Autoscaler struct {
 	// TailPct selects the observed tail point (95 or 99; default 95,
 	// matching the paper's latency-bounded-throughput SLA tail).
@@ -23,7 +24,8 @@ type Autoscaler struct {
 	// BoostR is the extra over-provision headroom applied while
 	// boosted (default 0.25).
 	BoostR float64
-	// HoldIntervals is how many intervals a boost lasts (default 4).
+	// HoldIntervals is how many intervals a boost lasts, counting the
+	// triggered re-provision itself (default 4).
 	HoldIntervals int
 
 	streak    int
@@ -65,7 +67,9 @@ func (a *Autoscaler) IntervalEnd() (early bool, extraR float64) {
 	if a.pending {
 		a.pending = false
 		a.streak = 0
-		a.boostLeft = a.HoldIntervals
+		// The triggered re-provision is the first of the HoldIntervals
+		// boosted intervals; boostLeft counts the remaining ones.
+		a.boostLeft = max(a.HoldIntervals-1, 0)
 		return true, a.BoostR
 	}
 	if a.boostLeft > 0 {
@@ -75,5 +79,9 @@ func (a *Autoscaler) IntervalEnd() (early bool, extraR float64) {
 	return false, 0
 }
 
-// Boosted reports whether the boost headroom is currently in force.
+// Boosted reports whether boost headroom remains in force beyond the
+// interval whose IntervalEnd most recently ran. The per-interval
+// boosted flag in DayResult comes from IntervalEnd's extraR return —
+// the headroom actually applied to the interval's re-provision — not
+// from this lookahead.
 func (a *Autoscaler) Boosted() bool { return a != nil && a.boostLeft > 0 }

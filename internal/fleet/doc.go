@@ -20,13 +20,29 @@
 //     return per-interval and aggregate DayResult metrics;
 //   - RouterKind — the per-query routing policies (round-robin,
 //     least-outstanding, power-of-two-choices, heterogeneity-aware);
-//   - Instance — one activated server as an M/G/c/(c+K) queue;
+//   - Instance — one activated server as an M/G/c/(c+K) queue, with
+//     optional dynamic batching (EnableBatching / Options.MaxBatch);
 //   - Autoscaler — early re-provisioning on windowed SLA breach;
 //   - CalibrateTable — a seconds-scale serving table when the full
 //     Fig. 9b profiling run is too slow;
 //   - ApplyScenario / Engine.Timeline — inject an internal/scenario
 //     timeline (flash crowds, failures, derates, shedding) into the
 //     replay.
+//
+// Dynamic batching (Options.MaxBatch > 1) turns each instance into a
+// batcher: queued queries coalesce into batches that launch when full,
+// or at the formation-wait deadline once a channel frees, so batches
+// grow toward the cap exactly when queues build. Batch service times
+// come from a batch-dimension extension of the simulator grids: each
+// pair's batching-efficiency curve is measured by simulating
+// representative whole-server batch sizes (BatchSource /
+// SimService.PairBatchEff), and a dispatched batch occupies min(n, c)
+// channels for that makespan. The engine derives every (server type,
+// model) pair's effective batch cap from its measured curve and SLA
+// budget — pairs where batching loses (contended models, tight SLAs)
+// keep serving unbatched — and scales the heterogeneity-aware router's
+// weight to the batched saturation throughput. MaxBatch 1 preserves
+// the original per-query replay bit for bit.
 //
 // Per-query service times come from the existing internal/sim cost
 // model via SimService; nothing here re-implements server timing. Each

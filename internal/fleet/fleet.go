@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -33,6 +34,16 @@ type Options struct {
 	// MaxQueriesPerInterval bounds one interval's replayed queries; the
 	// slice shrinks when the offered load would exceed it.
 	MaxQueriesPerInterval int
+	// MaxBatch enables dynamic per-instance batching: each instance
+	// coalesces up to MaxBatch queued queries into one dispatch, priced
+	// by the service source's batching-efficiency curve (BatchSource).
+	// 1 disables batching and preserves the per-query replay bit for
+	// bit; values below 1 are treated as 1.
+	MaxBatch int
+	// BatchWaitS is the longest a forming batch waits for companions
+	// before dispatching anyway — the latency the throughput gain is
+	// bought with. Only meaningful when MaxBatch > 1.
+	BatchWaitS float64
 	// Shards caps the per-model shard fan-out (0 = runtime.NumCPU()).
 	Shards int
 	// Sequential disables the worker pool (results are identical; the
@@ -52,6 +63,8 @@ func DefaultOptions() Options {
 		WindowS:               1,
 		ReprovisionEvery:      4,
 		MaxQueriesPerInterval: 150000,
+		MaxBatch:              1,
+		BatchWaitS:            0.002,
 		Seed:                  42,
 	}
 }
@@ -75,6 +88,7 @@ type Engine struct {
 
 	models    map[string]*model.Model
 	meanSvc   map[pairKey]float64
+	batchEff  map[pairKey][]float64
 	idleW     map[string]float64
 	instSeq   int
 	baseOverR float64
@@ -239,6 +253,7 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		e.models[w.Model] = m
 	}
 	e.meanSvc = make(map[pairKey]float64)
+	e.batchEff = make(map[pairKey][]float64)
 	e.idleW = make(map[string]float64)
 	e.baseOverR = e.Provisioner.OverProvisionR
 
@@ -309,7 +324,11 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		ist := e.replayInterval(i, stepS, loads, pools, eff)
 		ist.Reprovisioned = reprovision
 		ist.EarlyReprovision = reprovision && earlyPending && !scheduled
-		ist.Boosted = e.Scaler.Boosted() || extraR > 0
+		// extraR still holds the previous IntervalEnd's return — the
+		// boost headroom in force for exactly this interval. (Consulting
+		// Scaler.Boosted() here would read boostLeft one step ahead of
+		// the interval being reported.)
+		ist.Boosted = extraR > 0
 		ist.ActiveServers = active.ActiveServers
 		ist.DeadServers = dead
 		ist.ProvisionedKW = active.ProvisionedPowerW / 1e3
@@ -447,8 +466,27 @@ func (e *Engine) buildInstances(alloc cluster.Allocation) map[string][]*Instance
 			}
 			conc := e.concurrency(h, m, entry.QPS)
 			svc := e.pairService(h, m)
+			weight := entry.QPS
+			batchCap, eff := 1, []float64(nil)
+			if e.Opts.MaxBatch > 1 {
+				eff = e.pairBatchEff(h, m, e.Opts.MaxBatch)
+				mean := e.meanSvc[pairKey{h, m}] // populated by concurrency()
+				batchCap = batchCapFor(eff, mean, entry.QPS, e.models[m].SLATargetMS, e.Opts.MaxBatch)
+				if batchCap > 1 {
+					// The router's capacity signal tracks the batched
+					// saturation throughput cap / batch makespan =
+					// 1 / (eff × E[solo]): pairs whose batches amortize
+					// well (accelerators, NMP) legitimately absorb more
+					// in-flight queries under the heterogeneity-aware
+					// policy.
+					weight = math.Max(entry.QPS, 1/(eff[batchCap]*mean))
+				}
+			}
 			for k := 0; k < row[m]; k++ {
-				in := NewInstance(e.instSeq, h, m, entry.QPS, conc, e.Opts.QueueCap, svc)
+				in := NewInstance(e.instSeq, h, m, weight, conc, e.Opts.QueueCap, svc)
+				if batchCap > 1 {
+					in.EnableBatching(batchCap, e.Opts.BatchWaitS, eff[:batchCap+1])
+				}
 				out[m] = append(out[m], in)
 				e.instSeq++
 			}
@@ -471,6 +509,59 @@ func (e *Engine) pairService(serverType, modelName string) func(size int, scale 
 	return func(size int, scale float64) float64 {
 		return e.Service.ServiceS(serverType, modelName, size, scale)
 	}
+}
+
+// batchSLABudgetFrac is the share of a model's SLA a full batch's
+// makespan may occupy; the remainder is left for queueing and the
+// batch-formation wait. 0.35 keeps batched tails inside the SLA at the
+// ~87% utilization the provisioner targets — a makespan at half the
+// SLA leaves too little queueing room there.
+const batchSLABudgetFrac = 0.35
+
+// batchCapFor derives a pair's effective dynamic-batching cap from its
+// measured efficiency curve: the largest batch size (up to the global
+// MaxBatch) whose batched saturation throughput 1/(eff[n]·E[solo])
+// beats the pair's calibrated unbatched capacity AND whose full-batch
+// makespan eff[n]·n·E[solo] fits inside the SLA budget. Pairs whose
+// batches never win — heavily contended models, or SLAs too tight for
+// any batch makespan — keep cap 1 and replay unbatched: dynamic
+// batching must be an optimization the measurements justify, never a
+// blanket policy.
+func batchCapFor(eff []float64, meanSvcS, qps, slaMS float64, maxBatch int) int {
+	if len(eff) <= maxBatch || meanSvcS <= 0 || math.IsInf(meanSvcS, 0) || qps <= 0 {
+		return 1
+	}
+	budgetS := slaMS / 1e3 * batchSLABudgetFrac
+	for n := maxBatch; n >= 2; n-- {
+		if eff[n] <= 0 {
+			continue
+		}
+		sat := 1 / (eff[n] * meanSvcS)
+		makespan := eff[n] * float64(n) * meanSvcS
+		if sat >= qps && (slaMS <= 0 || makespan <= budgetS) {
+			return n
+		}
+	}
+	return 1
+}
+
+// pairBatchEff resolves (and caches per RunDay) the batching-efficiency
+// curve for a pair. Sources that do not implement BatchSource — or
+// cannot price the pair — yield nil, and batchCapFor then keeps the
+// pair unbatched: the engine never batches on an unmeasured curve.
+// (Instance.EnableBatching itself accepts a nil curve as pure
+// coalescing, for tests and tools that construct pools directly.)
+func (e *Engine) pairBatchEff(serverType, modelName string, maxBatch int) []float64 {
+	k := pairKey{serverType, modelName}
+	if eff, ok := e.batchEff[k]; ok {
+		return eff
+	}
+	var eff []float64
+	if bs, ok := e.Service.(BatchSource); ok {
+		eff = bs.PairBatchEff(serverType, modelName, maxBatch)
+	}
+	e.batchEff[k] = eff
+	return eff
 }
 
 // concurrency calibrates an instance's service channels so that its
@@ -520,10 +611,16 @@ type shardWork struct {
 	insts     []*Instance
 	queries   []workload.Query
 
-	kind    RouterKind
-	seed    int64
-	windowW float64
-	windows int
+	kind     RouterKind
+	seed     int64
+	windowW  float64
+	windows  int
+	sliceS   float64 // busy-accounting horizon for this interval's slice
+	maxBatch int     // > 1 selects the dynamic-batching replay loop
+
+	// comps is the per-arrival completions scratch of the batched loop,
+	// reused across queries and intervals.
+	comps []Completion
 
 	// outputs
 	winLatS  [][]float64 // per-window latency samples (seconds)
@@ -558,7 +655,11 @@ func (w *shardWork) run() {
 	router := w.kind.New()
 	rng := stats.NewRand(w.seed)
 	for _, in := range w.insts {
-		in.Reset()
+		in.ResetSlice(w.sliceS)
+	}
+	if w.maxBatch > 1 {
+		w.runBatched(router, rng)
+		return
 	}
 	for _, q := range w.queries {
 		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
@@ -575,6 +676,64 @@ func (w *shardWork) run() {
 			continue
 		}
 		w.winLatS[wi] = append(w.winLatS[wi], done-q.ArrivalS)
+	}
+}
+
+// runBatched is the dynamic-batching replay loop: latencies are
+// emitted when batches dispatch (window expiry, a full batch, or the
+// end-of-slice drain) rather than per arrival, and are bucketed into
+// observation windows by each query's own arrival instant — the same
+// accounting as the unbatched loop, just deferred. Pools mix batched
+// and unbatched instances (each pair derives its own batch cap from
+// the measured efficiency curve), so the loop branches per pick.
+func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
+	if cap(w.comps) < 2*w.maxBatch {
+		// One arrival can trigger at most an expiry dispatch of the
+		// forming batch plus a full-batch dispatch including itself.
+		w.comps = make([]Completion, 0, 2*w.maxBatch)
+	}
+	for _, q := range w.queries {
+		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		if len(w.insts) == 0 {
+			w.dropped++
+			w.winDrops[wi]++
+			continue
+		}
+		in := w.insts[router.Pick(w.insts, q.ArrivalS, rng)]
+		if in.MaxBatch <= 1 {
+			done, drop := in.Arrive(q.ArrivalS, q.Size, q.SparseScale)
+			if drop {
+				w.dropped++
+				w.winDrops[wi]++
+				continue
+			}
+			w.winLatS[wi] = append(w.winLatS[wi], done-q.ArrivalS)
+			continue
+		}
+		comps, drop := in.ArriveBatched(q.ArrivalS, q.Size, q.SparseScale, w.comps[:0])
+		w.comps = comps[:0]
+		if drop {
+			w.dropped++
+			w.winDrops[wi]++
+		}
+		w.record(comps)
+	}
+	for _, in := range w.insts {
+		if in.MaxBatch <= 1 {
+			continue
+		}
+		comps := in.FlushPending(w.comps[:0])
+		w.comps = comps[:0]
+		w.record(comps)
+	}
+}
+
+// record buckets a dispatch's completions into observation windows by
+// arrival instant.
+func (w *shardWork) record(comps []Completion) {
+	for _, c := range comps {
+		wi := stats.ClampInt(int(c.ArrivalS/w.windowW), 0, w.windows-1)
+		w.winLatS[wi] = append(w.winLatS[wi], c.DoneS-c.ArrivalS)
 	}
 }
 
@@ -638,6 +797,8 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			sh.kind = e.Router
 			sh.seed = mixSeed(e.Opts.Seed, int64(idx), int64(mi)<<8|int64(s))
 			sh.windowW = windowW
+			sh.sliceS = sliceS
+			sh.maxBatch = max(e.Opts.MaxBatch, 1)
 			scr.tasks = append(scr.tasks, sh)
 		}
 		shards := scr.tasks[starts[mi]:]
@@ -770,9 +931,12 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	return ist
 }
 
-// SliceResult is ReplaySlice's accounting.
+// SliceResult is ReplaySlice's accounting. LatS holds one latency per
+// admitted query — in arrival order for unbatched pools, in dispatch
+// order for batching pools (a batch emits its members' latencies when
+// it launches).
 type SliceResult struct {
-	LatS    []float64 // per-admitted-query latency, arrival order
+	LatS    []float64
 	Served  int
 	Dropped int
 }
@@ -780,11 +944,14 @@ type SliceResult struct {
 // ReplaySlice routes one query stream (in arrival order) over the
 // given instances with a fresh router of the given kind — the
 // single-shard building block RunDay composes, exported for tests and
-// tools that want router behavior without provisioning.
+// tools that want router behavior without provisioning. Batching
+// instances (EnableBatching) are served through the dynamic-batching
+// path, including the end-of-slice drain of forming batches.
 func ReplaySlice(kind RouterKind, insts []*Instance, queries []workload.Query, seed int64) SliceResult {
 	router := kind.New()
 	rng := stats.NewRand(seed)
 	var res SliceResult
+	var comps []Completion
 	for _, in := range insts {
 		in.Reset()
 	}
@@ -793,14 +960,36 @@ func ReplaySlice(kind RouterKind, insts []*Instance, queries []workload.Query, s
 			res.Dropped++
 			continue
 		}
-		pick := router.Pick(insts, q.ArrivalS, rng)
-		done, drop := insts[pick].Arrive(q.ArrivalS, q.Size, q.SparseScale)
-		if drop {
-			res.Dropped++
+		in := insts[router.Pick(insts, q.ArrivalS, rng)]
+		if in.MaxBatch <= 1 {
+			done, drop := in.Arrive(q.ArrivalS, q.Size, q.SparseScale)
+			if drop {
+				res.Dropped++
+				continue
+			}
+			res.Served++
+			res.LatS = append(res.LatS, done-q.ArrivalS)
 			continue
 		}
-		res.Served++
-		res.LatS = append(res.LatS, done-q.ArrivalS)
+		var drop bool
+		comps, drop = in.ArriveBatched(q.ArrivalS, q.Size, q.SparseScale, comps[:0])
+		if drop {
+			res.Dropped++
+		} else {
+			res.Served++
+		}
+		for _, c := range comps {
+			res.LatS = append(res.LatS, c.DoneS-c.ArrivalS)
+		}
+	}
+	for _, in := range insts {
+		if in.MaxBatch <= 1 {
+			continue
+		}
+		comps = in.FlushPending(comps[:0])
+		for _, c := range comps {
+			res.LatS = append(res.LatS, c.DoneS-c.ArrivalS)
+		}
 	}
 	return res
 }

@@ -9,6 +9,7 @@ import (
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
+	"hercules/internal/sim"
 	"hercules/internal/stats"
 	"hercules/internal/workload"
 )
@@ -162,14 +163,38 @@ func TestAutoscalerWindowLogic(t *testing.T) {
 	if a.Events != 1 {
 		t.Fatalf("events = %d", a.Events)
 	}
-	// Boost holds for HoldIntervals quiet intervals, then decays.
-	for i := 0; i < a.HoldIntervals; i++ {
+	// The boost is in force for HoldIntervals intervals total: the
+	// triggered re-provision plus HoldIntervals-1 quiet ones.
+	for i := 0; i < a.HoldIntervals-1; i++ {
 		if early, extra = a.IntervalEnd(); early || extra != a.BoostR {
 			t.Fatalf("hold interval %d: early=%v extra=%v", i, early, extra)
 		}
 	}
 	if _, extra = a.IntervalEnd(); extra != 0 {
 		t.Fatalf("boost must decay, extra=%v", extra)
+	}
+}
+
+// TestAutoscalerBoostWindowExact pins the documented boost window: a
+// trigger puts BoostR in force for exactly HoldIntervals consecutive
+// IntervalEnd returns (the triggering one included), never
+// HoldIntervals+1.
+func TestAutoscalerBoostWindowExact(t *testing.T) {
+	for _, hold := range []int{1, 2, 4} {
+		a := NewAutoscaler()
+		a.HoldIntervals = hold
+		for i := 0; i < a.Patience; i++ {
+			a.ObserveWindow(true)
+		}
+		boosted := 0
+		for i := 0; i < hold+3; i++ {
+			if _, extra := a.IntervalEnd(); extra > 0 {
+				boosted++
+			}
+		}
+		if boosted != hold {
+			t.Errorf("HoldIntervals=%d: boost in force for %d intervals", hold, boosted)
+		}
 	}
 }
 
@@ -336,6 +361,210 @@ func TestRunDayAccounting(t *testing.T) {
 	}
 }
 
+// TestBusyTimeClippedToSlice is the regression test for the busy-time
+// over-accounting bug: a long query admitted near the slice boundary
+// must contribute only the channel-seconds it serves inside the slice,
+// not its full service time (which Utilization's clamp at 1 used to
+// hide for saturated instances).
+func TestBusyTimeClippedToSlice(t *testing.T) {
+	in := NewInstance(0, "T2", "DLRM-RMC1", 100, 1, 4,
+		func(int, float64) float64 { return 10.0 }) // 10 s service
+	in.ResetSlice(1.0)
+	if _, drop := in.Arrive(0.5, 100, 1); drop {
+		t.Fatal("query must be admitted")
+	}
+	// The query occupies the channel from 0.5 s to 10.5 s; only 0.5 s
+	// falls inside the 1 s slice.
+	if got := in.Utilization(1.0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.5 (busy clipped to the slice)", got)
+	}
+	// Reset() keeps the legacy unbounded horizon for raw ReplaySlice use.
+	in.Reset()
+	in.Arrive(0.5, 100, 1)
+	if got := in.Utilization(1.0); got != 1 {
+		t.Fatalf("unclipped utilization = %v, want the saturated clamp 1", got)
+	}
+}
+
+// TestBatchingCoalesces checks the batcher's dispatch arithmetic: a
+// full batch dispatches immediately and is priced by the efficiency
+// curve; a partial batch dispatches at its wait-window deadline.
+func TestBatchingCoalesces(t *testing.T) {
+	eff := []float64{1, 1, 0.75, 0.6, 0.5} // eff[4] = 0.5
+	mk := func() *Instance {
+		in := NewInstance(0, "T2", "DLRM-RMC1", 100, 1, 16,
+			func(int, float64) float64 { return 0.010 })
+		in.EnableBatching(4, 0.005, eff)
+		in.Reset()
+		return in
+	}
+	// Four simultaneous arrivals fill the batch: one dispatch at t=0,
+	// service 0.5 * 4 * 10ms = 20 ms, every member done at 20 ms.
+	in := mk()
+	var out []Completion
+	for i := 0; i < 4; i++ {
+		var drop bool
+		out, drop = in.ArriveBatched(0, 100, 1, out)
+		if drop {
+			t.Fatalf("arrival %d dropped", i)
+		}
+	}
+	if len(out) != 4 {
+		t.Fatalf("full batch emitted %d completions, want 4", len(out))
+	}
+	for _, c := range out {
+		if math.Abs(c.DoneS-0.020) > 1e-12 {
+			t.Errorf("completion at %v, want 0.020", c.DoneS)
+		}
+	}
+	if in.Served != 4 || in.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d", in.Served, in.Dropped)
+	}
+	// Two arrivals then a long gap: the window expires at 5 ms, so the
+	// next arrival first flushes the pair (dispatch at 0.005, service
+	// 0.75 * 20ms = 15 ms -> done at 0.020).
+	in = mk()
+	out = out[:0]
+	out, _ = in.ArriveBatched(0, 100, 1, out)
+	out, _ = in.ArriveBatched(0.001, 100, 1, out)
+	if len(out) != 0 {
+		t.Fatalf("forming batch must not emit completions, got %d", len(out))
+	}
+	out, _ = in.ArriveBatched(0.1, 100, 1, out)
+	if len(out) != 2 {
+		t.Fatalf("window expiry must flush the pair, got %d completions", len(out))
+	}
+	if math.Abs(out[0].DoneS-0.020) > 1e-12 || out[0].ArrivalS != 0 {
+		t.Errorf("flushed completion %+v, want dispatch at deadline 0.005 + 15ms", out[0])
+	}
+	// The third query is still forming; FlushPending drains it at its
+	// own deadline (0.1 + 0.005), service 10 ms.
+	out = in.FlushPending(out[:0])
+	if len(out) != 1 || math.Abs(out[0].DoneS-0.115) > 1e-12 {
+		t.Fatalf("end-of-slice flush: %+v, want done at 0.115", out)
+	}
+}
+
+// TestOutstandingFlushesDueBatches: a forming batch whose launch
+// instant has passed must stop counting as outstanding load the
+// moment any router inspects the instance — phantom pending members
+// would make state-aware routers route around a genuinely idle server
+// — and the launched batch's completions must still surface through
+// the next drain.
+func TestOutstandingFlushesDueBatches(t *testing.T) {
+	in := NewInstance(0, "T2", "DLRM-RMC1", 100, 1, 8,
+		func(int, float64) float64 { return 0.010 })
+	in.EnableBatching(4, 0.002, nil)
+	in.Reset()
+	if _, drop := in.ArriveBatched(0, 100, 1, nil); drop {
+		t.Fatal("query dropped")
+	}
+	// Before the window expires the member is pending.
+	if got := in.Outstanding(0.001); got != 1 {
+		t.Fatalf("outstanding before launch = %d, want 1", got)
+	}
+	// After launch (0.002) the batch is in service until 0.012.
+	if got := in.Outstanding(0.005); got != 1 {
+		t.Fatalf("outstanding in service = %d, want 1", got)
+	}
+	if got := in.Outstanding(0.020); got != 0 {
+		t.Fatalf("outstanding after completion = %d, want 0 (due batch must have launched)", got)
+	}
+	// The completion emitted by the inspection-triggered launch must
+	// surface at the next drain, with the launch-instant timing.
+	out := in.FlushPending(nil)
+	if len(out) != 1 || math.Abs(out[0].DoneS-0.012) > 1e-12 {
+		t.Fatalf("buffered completion %+v, want done at 0.012", out)
+	}
+	if in.Served != 1 || in.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d", in.Served, in.Dropped)
+	}
+}
+
+// TestBatchedCapacityRule checks the batched admission bound: a
+// batching instance holds up to Concurrency*MaxBatch in service plus
+// QueueCap forming/waiting, and drops beyond that.
+func TestBatchedCapacityRule(t *testing.T) {
+	in := NewInstance(0, "T2", "DLRM-RMC1", 100, 1, 2,
+		func(int, float64) float64 { return 0.010 })
+	in.EnableBatching(4, 0.005, nil)
+	in.Reset()
+	var out []Completion
+	admitted, dropped := 0, 0
+	for i := 0; i < 10; i++ {
+		var drop bool
+		out, drop = in.ArriveBatched(0, 100, 1, out[:0])
+		if drop {
+			dropped++
+		} else {
+			admitted++
+		}
+	}
+	// Capacity is 1*4 in service + 2 waiting = 6.
+	if admitted != 6 || dropped != 4 {
+		t.Fatalf("admitted/dropped = %d/%d, want 6/4", admitted, dropped)
+	}
+	if in.Served+len(in.pendArr) != admitted || in.Dropped != dropped {
+		t.Fatalf("instance counters disagree: served=%d pending=%d dropped=%d",
+			in.Served, len(in.pendArr), in.Dropped)
+	}
+}
+
+// TestBatchedParallelMatchesSequential extends the determinism claim
+// to the dynamic-batching replay loop: with MaxBatch > 1 the parallel
+// worker-pool replay must stay bit-identical to the sequential one.
+func TestBatchedParallelMatchesSequential(t *testing.T) {
+	ws := []cluster.Workload{{
+		Model: "DLRM-RMC1",
+		Trace: stepTrace(800, 1600, 2400, 1600, 800, 400),
+	}}
+	run := func(sequential bool) DayResult {
+		opts := testOpts()
+		opts.Shards = 4
+		opts.MaxBatch = 4
+		opts.BatchWaitS = 0.004
+		opts.Sequential = sequential
+		res, err := testEngine(WeightedHetero, opts).RunDay(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par1, par2 := run(true), run(false), run(false)
+	if !reflect.DeepEqual(par1, par2) {
+		t.Fatal("two batched parallel replays with the same seed diverged")
+	}
+	if !reflect.DeepEqual(seq, par1) {
+		t.Fatalf("batched parallel replay must match sequential:\nseq: %+v\npar: %+v", seq, par1)
+	}
+	if seq.TotalQueries == 0 {
+		t.Fatal("batched replay served nothing")
+	}
+}
+
+// TestMaxBatchOneMatchesUnbatched: MaxBatch=1 must take the original
+// per-query path and reproduce the unbatched replay exactly.
+func TestMaxBatchOneMatchesUnbatched(t *testing.T) {
+	ws := []cluster.Workload{{
+		Model: "DLRM-RMC1",
+		Trace: stepTrace(500, 1000, 1500, 1000),
+	}}
+	base, err := testEngine(PowerOfTwo, testOpts()).RunDay(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.MaxBatch = 1
+	opts.BatchWaitS = 0.010 // must be inert at MaxBatch 1
+	one, err := testEngine(PowerOfTwo, opts).RunDay(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, one) {
+		t.Fatalf("MaxBatch=1 replay diverged from the unbatched replay:\nbase: %+v\none: %+v", base, one)
+	}
+}
+
 func TestSimServiceMemoizesAndIsSane(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the per-server simulator")
@@ -358,5 +587,79 @@ func TestSimServiceMemoizesAndIsSane(t *testing.T) {
 	// Unknown pairs are infinite (dropped), not invented.
 	if v := svc.ServiceS("T9", "nope", 100, 1.0); !math.IsInf(v, 1) {
 		t.Errorf("unknown pair service = %v, want +Inf", v)
+	}
+}
+
+// TestScaleZeroHasOwnBucket is the regression test for the scale-0
+// clamp: a query with no pooled work (sparse scale 0) must be priced
+// at scale 0, not silently sampled at the 0.125 bucket, and the grid
+// value must match the simulator evaluated directly at scale 0.
+func TestScaleZeroHasOwnBucket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the per-server simulator")
+	}
+	tb := &profiler.Table{}
+	tb.Set(profiler.Entry{Model: "DLRM-RMC1", Server: "T2", QPS: 400, PowerW: 200})
+	svc := NewSimService(tb)
+	zero := svc.ServiceS("T2", "DLRM-RMC1", 100, 0)
+	eighth := svc.ServiceS("T2", "DLRM-RMC1", 100, 0.125)
+	if math.IsInf(zero, 0) || zero <= 0 {
+		t.Fatalf("scale-0 service = %v, want positive-finite", zero)
+	}
+	if zero >= eighth {
+		t.Errorf("a dense query (%v s) must be cheaper than one pooling at scale 0.125 (%v s)",
+			zero, eighth)
+	}
+	// The grid must agree with the simulator evaluated directly at the
+	// same bucket representative and scale 0.
+	m, err := model.ByName("DLRM-RMC1", model.Prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sim.New(hw.ServerType("T2"), m)
+	q := workload.Query{ID: 1, ArrivalS: 0, Size: sizeBucket(100), SparseScale: 0}
+	res, err := srv.Simulate(DefaultServingConfig(hw.ServerType("T2")), []workload.Query{q}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := res.MeanMS / 1e3; math.Abs(zero-direct) > 1e-12*math.Abs(direct) {
+		t.Errorf("grid scale-0 value %v disagrees with direct simulation %v", zero, direct)
+	}
+}
+
+// TestPairBatchEffCurve sanity-checks the batching-efficiency curves
+// the sim-backed source measures: eff[1] is 1, larger batches are
+// never priced worse than back-to-back solo service nor better than
+// their longest member, and a real pair shows a genuine economy.
+func TestPairBatchEffCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the per-server simulator")
+	}
+	tb := &profiler.Table{}
+	tb.Set(profiler.Entry{Model: "DLRM-RMC1", Server: "T2", QPS: 400, PowerW: 200})
+	svc := NewSimService(tb)
+	const maxBatch = 16
+	eff := svc.PairBatchEff("T2", "DLRM-RMC1", maxBatch)
+	if len(eff) != maxBatch+1 {
+		t.Fatalf("curve length %d, want %d", len(eff), maxBatch+1)
+	}
+	if eff[1] != 1 {
+		t.Fatalf("eff[1] = %v, want 1", eff[1])
+	}
+	for n := 2; n <= maxBatch; n++ {
+		if eff[n] > 1 || eff[n] < 1/float64(n) {
+			t.Errorf("eff[%d] = %v outside [1/n, 1]", n, eff[n])
+		}
+	}
+	if eff[maxBatch] >= 1 {
+		t.Errorf("a full batch must amortize per-batch overheads: eff[%d] = %v", maxBatch, eff[maxBatch])
+	}
+	// Unknown pairs cannot be priced.
+	if got := svc.PairBatchEff("T9", "nope", maxBatch); got != nil {
+		t.Errorf("unknown pair curve = %v, want nil", got)
+	}
+	// MaxBatch 1 needs no curve.
+	if got := svc.PairBatchEff("T2", "DLRM-RMC1", 1); got != nil {
+		t.Errorf("maxBatch 1 curve = %v, want nil", got)
 	}
 }

@@ -24,9 +24,12 @@ const (
 	PowerOfTwo
 	// WeightedHetero is the heterogeneity-aware policy: it minimizes
 	// (outstanding+1)/weight where weight is the profiled capacity QPS
-	// of the instance's (server type, model) pair, so a V100 server
-	// legitimately holds many more in-flight queries than a small CPU
-	// node before it is considered loaded.
+	// of the instance's (server type, model) pair — scaled by the
+	// batched saturation gain when dynamic batching is enabled, so that
+	// types whose batches amortize well (accelerators) absorb more
+	// in-flight queries — and a V100 server legitimately holds many
+	// more outstanding queries than a small CPU node before it is
+	// considered loaded.
 	WeightedHetero
 )
 
@@ -146,8 +149,11 @@ func (weightedHetero) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 }
 
 // heteroLoad is the capacity-normalized congestion of an instance: how
-// many "capacity units" the next query would wait behind. Instances
-// without a positive profiled weight fall back to weight 1.
+// many "capacity units" the next query would wait behind (Outstanding
+// counts a forming batch's members too, so a batching instance's
+// queued-but-undispatched work is visible to every state-aware
+// policy). Instances without a positive profiled weight fall back to
+// weight 1.
 func heteroLoad(in *Instance, now float64) float64 {
 	w := in.Weight
 	if w <= 0 {

@@ -45,6 +45,20 @@ type PairSource interface {
 	PairService(serverType, modelName string) func(size int, scale float64) float64
 }
 
+// BatchSource is the optional batching extension of a ServiceSource:
+// PairBatchEff returns the pair's batching-efficiency curve, a dense
+// slice eff[0..maxBatch] where eff[n] is the service time of an
+// n-query batch divided by the sum of its members' solo service times.
+// eff[1] is 1 by construction; amortized dispatch overheads, weight
+// streaming and kernel launches push larger batches below 1. The curve
+// is resolved once per (pair, engine) at instance-build time — the
+// per-query replay path never consults the source. A nil return means
+// the source cannot price batches for the pair, and the engine serves
+// that pair unbatched (unmeasured batching is never enabled).
+type BatchSource interface {
+	PairBatchEff(serverType, modelName string, maxBatch int) []float64
+}
+
 // SimService derives service times from the existing per-server
 // simulator (internal/sim): each (server type, model) pair is served
 // under the task-scheduling configuration recorded in the profiler
@@ -77,6 +91,10 @@ const (
 	sizeLadder    = 1.12
 	ladderMaxSize = 4096
 	scaleBuckets  = 32
+	// scaleCells is the per-size grid width: buckets 1..scaleBuckets for
+	// positive scales plus a dedicated bucket 0 for scale-0 (dense-only)
+	// queries, which must not be silently priced at scale 0.125.
+	scaleCells = scaleBuckets + 1
 )
 
 var (
@@ -113,13 +131,14 @@ func sizeBucket(size int) int {
 }
 
 // scaleBucket quantizes sparse scales to eighths, like internal/sim's
-// cost memo.
+// cost memo. Zero (a dense model, or a query with no pooled work) gets
+// its own bucket rather than being clamped up to 0.125.
 func scaleBucket(scale float64) int {
-	return stats.ClampInt(int(math.Round(scale*8)), 1, scaleBuckets)
+	return stats.ClampInt(int(math.Round(scale*8)), 0, scaleBuckets)
 }
 
 // pairSim is the per-(server type, model) simulator with its
-// precomputed service-time grid. vals[idx*scaleBuckets+sb-1] holds the
+// precomputed service-time grid. vals[idx*scaleCells+sb] holds the
 // service time for ladder index idx and scale bucket sb; ready flags
 // gate lock-free reads (the value is published before its flag, so an
 // acquire-load of the flag makes the value visible).
@@ -134,6 +153,9 @@ type pairSim struct {
 	// overflow memoizes sizes beyond the ladder (never produced by the
 	// workload generators, but ReplaySlice accepts arbitrary queries).
 	overflow map[int64]float64
+	// effs memoizes batching-efficiency curves by batch cap (built under
+	// mu, read-only afterwards: callers share the returned slices).
+	effs map[int][]float64
 }
 
 // NewSimService builds a service source over the given efficiency
@@ -190,8 +212,8 @@ func (s *SimService) pair(serverType, modelName string) (*pairSim, error) {
 	ps := &pairSim{
 		srv:   sim.New(srv, m),
 		cfg:   cfg,
-		vals:  make([]float64, ladderLen*scaleBuckets),
-		ready: make([]atomic.Bool, ladderLen*scaleBuckets),
+		vals:  make([]float64, ladderLen*scaleCells),
+		ready: make([]atomic.Bool, ladderLen*scaleCells),
 	}
 	s.pairs[k] = ps
 	return ps, nil
@@ -217,12 +239,29 @@ func (s *SimService) PairService(serverType, modelName string) func(size int, sc
 	return ps.serviceS
 }
 
+// PairBatchEff implements BatchSource: the batching-efficiency curve
+// is measured by evaluating internal/sim at representative batch
+// sizes for the pair — a batch of n queries is simulated as one merged
+// query of n × the median query size on a single-channel reduction of
+// the pair's serving configuration — and interpolating between the
+// measured points.
+func (s *SimService) PairBatchEff(serverType, modelName string, maxBatch int) []float64 {
+	if maxBatch < 2 {
+		return nil
+	}
+	ps, err := s.pair(serverType, modelName)
+	if err != nil {
+		return nil
+	}
+	return ps.batchEffCurve(maxBatch)
+}
+
 func (p *pairSim) serviceS(size int, scale float64) float64 {
 	sb := scaleBucket(scale)
 	if size < 0 || size > ladderMaxSize {
 		return p.overflowServiceS(size, sb)
 	}
-	cell := int(sizeIdxTab[size])*scaleBuckets + sb - 1
+	cell := int(sizeIdxTab[size])*scaleCells + sb
 	if p.ready[cell].Load() {
 		return p.vals[cell]
 	}
@@ -259,6 +298,93 @@ func (p *pairSim) simulate(repSize, sb int) float64 {
 	res, err := p.srv.Simulate(p.cfg, []workload.Query{q}, 1)
 	if err == nil && res.MeanMS > 0 {
 		return res.MeanMS / 1e3
+	}
+	return math.Inf(1)
+}
+
+// repBatchItems is the per-query item count the batch grid is
+// evaluated at: the default query-size distribution's median.
+const repBatchItems = 110
+
+// batchEffCurve measures (and memoizes) the pair's batching-efficiency
+// curve up to maxBatch: representative batch sizes (powers of two plus
+// the cap) are simulated as that many simultaneous median-size queries
+// on the pair's full serving configuration, the whole-server batch
+// makespan is normalized by n × the solo makespan, and the curve is
+// linearly interpolated in between. Returns nil when the simulator
+// cannot price the pair.
+//
+// The curve is whole-server by construction — a batch of n fills the
+// thread pool / accelerator occupancy that a solo query leaves idle —
+// which is why a batching Instance serves as a single server-wide
+// channel: eff[n] × (n solo times) IS the server's batch makespan, and
+// n / makespan its batched saturation throughput.
+func (p *pairSim) batchEffCurve(maxBatch int) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if eff, ok := p.effs[maxBatch]; ok {
+		return eff
+	}
+	if p.effs == nil {
+		p.effs = make(map[int][]float64)
+	}
+	eff := p.measureEffCurve(maxBatch)
+	p.effs[maxBatch] = eff
+	return eff
+}
+
+func (p *pairSim) measureEffCurve(maxBatch int) []float64 {
+	solo := p.batchMakespan(1)
+	if math.IsInf(solo, 0) || solo <= 0 {
+		return nil
+	}
+	pts := []int{1}
+	for b := 2; b < maxBatch; b *= 2 {
+		pts = append(pts, b)
+	}
+	pts = append(pts, maxBatch)
+	effAt := make([]float64, len(pts))
+	effAt[0] = 1
+	for i := 1; i < len(pts); i++ {
+		t := p.batchMakespan(pts[i])
+		if math.IsInf(t, 0) || t <= 0 {
+			return nil
+		}
+		effAt[i] = t / (float64(pts[i]) * solo)
+	}
+	eff := make([]float64, maxBatch+1)
+	eff[0] = 1
+	for i := 1; i < len(pts); i++ {
+		lo, hi := pts[i-1], pts[i]
+		for n := lo; n <= hi; n++ {
+			frac := 0.0
+			if hi > lo {
+				frac = float64(n-lo) / float64(hi-lo)
+			}
+			eff[n] = effAt[i-1] + frac*(effAt[i]-effAt[i-1])
+		}
+	}
+	// Sanity rails: a batch is never faster than its longest member
+	// (eff ≥ 1/n) and never slower than draining the members through
+	// the server one at a time (eff ≤ 1).
+	for n := 1; n <= maxBatch; n++ {
+		eff[n] = math.Min(math.Max(eff[n], 1/float64(n)), 1)
+	}
+	return eff
+}
+
+// batchMakespan measures an idle server of the pair's full serving
+// configuration clearing b simultaneous median-size queries: the
+// whole-server batch makespan (CompletedQPS is queries over the true
+// makespan when the nominal window is shorter).
+func (p *pairSim) batchMakespan(b int) float64 {
+	qs := make([]workload.Query, b)
+	for i := range qs {
+		qs[i] = workload.Query{ID: int64(i + 1), ArrivalS: 0, Size: repBatchItems, SparseScale: 1}
+	}
+	res, err := p.srv.Simulate(p.cfg, qs, 1e-3)
+	if err == nil && res.CompletedQPS > 0 {
+		return float64(b) / res.CompletedQPS
 	}
 	return math.Inf(1)
 }

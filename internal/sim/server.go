@@ -124,9 +124,11 @@ func newRun(s *Server, cfg Config) *run {
 }
 
 // scaleBucket quantizes the per-query sparse scale for cost memoization.
+// Zero keeps its own bucket (a dense query has no pooled work and must
+// not be costed as if it pooled at scale 0.125).
 func scaleBucket(scale float64) int {
 	b := int(math.Round(scale * 8))
-	return stats.ClampInt(b, 1, 32)
+	return stats.ClampInt(b, 0, 32)
 }
 
 func bucketScale(b int) float64 { return float64(b) / 8 }
