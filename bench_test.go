@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"testing"
 
-	"hercules/internal/cluster"
 	"hercules/internal/experiments"
 	"hercules/internal/fleet"
 )
@@ -256,7 +255,7 @@ func BenchmarkFleetDay(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		day, err := experiments.FleetDay(fleet.PowerOfTwo, cluster.Hercules, experiments.Seed)
+		day, err := experiments.FleetDay(fleet.PowerOfTwo, "hercules", experiments.Seed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +282,7 @@ func BenchmarkFleetDayBatched(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		day, err := experiments.FleetDayBatched(fleet.PowerOfTwo, cluster.Hercules, 16, experiments.Seed)
+		day, err := experiments.FleetDayBatched(fleet.PowerOfTwo, "hercules", 16, experiments.Seed)
 		if err != nil {
 			b.Fatal(err)
 		}

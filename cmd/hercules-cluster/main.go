@@ -49,7 +49,7 @@ func main() {
 	}
 	flag.Parse()
 
-	policy, err := parsePolicy(*policyFlag)
+	policy, err := cluster.ParsePolicy(*policyFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,31 +94,7 @@ func main() {
 		run.Activations, run.Releases, run.SetupOverheadS)
 }
 
-func parsePolicy(s string) (cluster.Policy, error) {
-	switch strings.ToLower(s) {
-	case "nh":
-		return cluster.NH, nil
-	case "greedy":
-		return cluster.Greedy, nil
-	case "priority":
-		return cluster.Priority, nil
-	case "hercules":
-		return cluster.Hercules, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q", s)
-}
-
-func parseFleet(s string) (hw.Fleet, error) {
-	switch strings.ToLower(s) {
-	case "default":
-		return hw.DefaultFleet(), nil
-	case "cpu":
-		return hw.CPUOnlyFleet(), nil
-	case "accelerated":
-		return hw.AcceleratedFleet(), nil
-	}
-	return hw.Fleet{}, fmt.Errorf("unknown fleet %q", s)
-}
+func parseFleet(s string) (hw.Fleet, error) { return hw.NamedFleet(s) }
 
 func splitModels(s string) []string {
 	var out []string

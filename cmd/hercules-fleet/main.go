@@ -6,14 +6,23 @@
 //
 // Usage:
 //
-//	hercules-fleet [-table table.json] [-models RMC1,RMC2]
+//	hercules-fleet [-spec run.json] [-table table.json] [-models RMC1,RMC2]
 //	               [-fleet small|cpu|default|accelerated]
 //	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
+//	               [-scaler breach|prop|none] [-admission none|deadline]
 //	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
 //	               [-days 1] [-step-min 60] [-peak 0] [-headroom 0.15]
 //	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
 //	               [-batch 1] [-batch-wait 2] [-shards 0] [-sequential]
-//	               [-no-autoscale] [-seed 42] [-summary] [-pretty]
+//	               [-seed 42] [-ndjson] [-summary] [-pretty]
+//
+// Every run is described by a fleet.Spec: -spec loads one from JSON,
+// the other flags override individual fields (an unset flag defers to
+// the spec file, which defers to fleet.DefaultSpec), and the emitted
+// report embeds the resolved spec so a run can be reproduced with
+// -spec alone. Policies are resolved by name through the fleet policy
+// registries — a router, autoscaler or admission policy registered by
+// any package is selectable here without touching this command.
 //
 // The -table JSON comes from hercules-profile (full Fig. 9b search).
 // Without -table, each (model, server type) pair is quick-calibrated on
@@ -26,13 +35,10 @@
 // disruption run is paired with a baseline replay of the same router ×
 // policy so the report shows the divergence directly.
 //
-// -batch enables dynamic per-instance batching: each server coalesces
-// up to that many queued queries into one dispatch (waiting at most
-// -batch-wait milliseconds for companions), priced by the simulator's
-// measured batch-efficiency curves; the engine derives each (server
-// type, model) pair's effective cap from its curve and SLA budget, so
-// pairs where batching loses keep serving unbatched. -batch 1 (the
-// default) replays exactly the unbatched engine.
+// -ndjson streams every replayed interval as one JSON line on stdout
+// while the day runs — the engine's Observer hook, the same stream the
+// final report aggregates — and trims the per-interval series from the
+// closing report.
 package main
 
 import (
@@ -44,57 +50,173 @@ import (
 	"time"
 
 	"hercules/internal/cluster"
-	"hercules/internal/experiments"
 	"hercules/internal/fleet"
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
 	"hercules/internal/scenario"
-	"hercules/internal/workload"
 )
 
+// ndjsonInterval is one -ndjson stream line: an interval's stats
+// labeled with the run that produced them.
+type ndjsonInterval struct {
+	Router   string `json:"router"`
+	Policy   string `json:"policy"`
+	Scenario string `json:"scenario"`
+	fleet.IntervalStats
+}
+
 type report struct {
-	Models   []string           `json:"models"`
-	Fleet    string             `json:"fleet"`
-	Days     int                `json:"days"`
-	StepMin  float64            `json:"step_min"`
-	PeakQPS  map[string]float64 `json:"peak_qps"`
-	Scenario string             `json:"scenario,omitempty"`
-	Seed     int64              `json:"seed"`
-	ElapsedS float64            `json:"elapsed_s"`
-	Runs     []fleet.DayResult  `json:"runs"`
+	// Spec is the resolved base spec of the sweep (router/policy vary
+	// per run); feed it back via -spec to reproduce the report.
+	Spec     fleet.Spec        `json:"spec"`
+	Routers  []string          `json:"routers"`
+	Policies []string          `json:"policies"`
+	ElapsedS float64           `json:"elapsed_s"`
+	Runs     []fleet.DayResult `json:"runs"`
+}
+
+// cliFlags holds the flag destinations; defaults come from
+// fleet.DefaultSpec() so the CLI can never drift from the library
+// defaults (TestFlagDefaultsMatchDefaultSpec pins this).
+type cliFlags struct {
+	spec      *string
+	table     *string
+	models    *string
+	fleetName *string
+	routers   *string
+	policies  *string
+	scaler    *string
+	admission *string
+	scen      *string
+	listScen  *bool
+	days      *int
+	stepMin   *float64
+	peak      *float64
+	headroom  *float64
+	queue     *int
+	slice     *float64
+	window    *float64
+	maxQ      *int
+	batch     *int
+	batchWait *float64
+	shards    *int
+	seq       *bool
+	seed      *int64
+	ndjson    *bool
+	summary   *bool
+	pretty    *bool
+}
+
+// registerFlags wires the flag set; every default is read off
+// fleet.DefaultSpec, and the policy flag usage strings list the
+// registered names straight from the registries.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	def := fleet.DefaultSpec()
+	return &cliFlags{
+		spec:      fs.String("spec", "", "run-spec JSON file (fleet.Spec); other flags override its fields"),
+		table:     fs.String("table", "", "efficiency-table JSON from hercules-profile (default: quick calibration)"),
+		models:    fs.String("models", strings.Join(def.Models, ","), "workload models"),
+		fleetName: fs.String("fleet", def.Fleet, "fleet: "+strings.Join(hw.FleetNames, ", ")),
+		routers: fs.String("routers", strings.Join(fleet.AllRouters, ","),
+			"routing policies to replay (registered: "+strings.Join(fleet.RouterNames(), ", ")+")"),
+		policies: fs.String("policies", "greedy,hercules",
+			"provisioning policies to replay ("+strings.Join(cluster.PolicyNames, ", ")+")"),
+		scaler: fs.String("scaler", def.Scaler,
+			"online autoscaler: none or a registered name ("+strings.Join(fleet.ScalerNames(), ", ")+")"),
+		admission: fs.String("admission", def.Admission,
+			"admission shedding: none or a registered name ("+strings.Join(fleet.AdmissionNames(), ", ")+")"),
+		scen: fs.String("scenario", def.Scenario,
+			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array"),
+		listScen:  fs.Bool("list-scenarios", false, "list the built-in scenarios and exit"),
+		days:      fs.Int("days", def.Days, "days of diurnal load"),
+		stepMin:   fs.Float64("step-min", def.StepMin, "trace interval in minutes (>= 24 intervals per day at 60)"),
+		peak:      fs.Float64("peak", def.PeakQPS, "per-workload peak QPS (0 = auto-size to fleet)"),
+		headroom:  fs.Float64("headroom", def.HeadroomR, "provisioning over-provision rate R"),
+		queue:     fs.Int("queue", def.Options.QueueCap, "per-server bounded queue slots"),
+		slice:     fs.Float64("slice", def.Options.SliceS, "sampled traffic slice per interval (seconds)"),
+		window:    fs.Float64("window", def.Options.WindowS, "tail observation window (seconds)"),
+		maxQ:      fs.Int("max-queries", def.Options.MaxQueriesPerInterval, "replayed-query budget per interval"),
+		batch:     fs.Int("batch", def.Options.MaxBatch, "dynamic batching: max queries coalesced per dispatch (1 = off)"),
+		batchWait: fs.Float64("batch-wait", def.Options.BatchWaitS*1e3, "max batch-formation wait in milliseconds"),
+		shards:    fs.Int("shards", def.Options.Shards, "per-model shard fan-out (0 = NumCPU)"),
+		seq:       fs.Bool("sequential", false, "disable the parallel worker pool"),
+		seed:      fs.Int64("seed", def.Options.Seed, "deterministic seed"),
+		ndjson:    fs.Bool("ndjson", false, "stream per-interval stats as JSON lines while replaying"),
+		summary:   fs.Bool("summary", false, "omit per-interval series from the JSON"),
+		pretty:    fs.Bool("pretty", false, "indent the JSON output"),
+	}
+}
+
+// buildSpec resolves the run's base spec: the -spec file (or
+// DefaultSpec) overlaid with every flag the user explicitly set.
+// Flag defaults are themselves DefaultSpec values, so with no spec
+// file the overlay of unset flags is the identity.
+func buildSpec(cf *cliFlags, fs *flag.FlagSet) (fleet.Spec, error) {
+	spec := fleet.DefaultSpec()
+	if *cf.spec != "" {
+		data, err := os.ReadFile(*cf.spec)
+		if err != nil {
+			return spec, err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return spec, fmt.Errorf("%s: %w", *cf.spec, err)
+		}
+	}
+	// One overlay per flag; a field missing here is a field the CLI
+	// cannot override, so keep the table in sync with cliFlags.
+	// -routers/-policies are the sweep axes, applied in main.
+	overlays := map[string]func(*fleet.Spec){
+		"models":      func(s *fleet.Spec) { s.Models = splitModels(*cf.models) },
+		"fleet":       func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
+		"scaler":      func(s *fleet.Spec) { s.Scaler = *cf.scaler },
+		"admission":   func(s *fleet.Spec) { s.Admission = *cf.admission },
+		"scenario":    func(s *fleet.Spec) { s.Scenario = *cf.scen },
+		"days":        func(s *fleet.Spec) { s.Days = *cf.days },
+		"step-min":    func(s *fleet.Spec) { s.StepMin = *cf.stepMin },
+		"peak":        func(s *fleet.Spec) { s.PeakQPS = *cf.peak },
+		"headroom":    func(s *fleet.Spec) { s.HeadroomR = *cf.headroom },
+		"queue":       func(s *fleet.Spec) { s.Options.QueueCap = *cf.queue },
+		"slice":       func(s *fleet.Spec) { s.Options.SliceS = *cf.slice },
+		"window":      func(s *fleet.Spec) { s.Options.WindowS = *cf.window },
+		"max-queries": func(s *fleet.Spec) { s.Options.MaxQueriesPerInterval = *cf.maxQ },
+		"batch":       func(s *fleet.Spec) { s.Options.MaxBatch = *cf.batch },
+		"batch-wait":  func(s *fleet.Spec) { s.Options.BatchWaitS = *cf.batchWait / 1e3 },
+		"shards":      func(s *fleet.Spec) { s.Options.Shards = *cf.shards },
+		"sequential":  func(s *fleet.Spec) { s.Options.Sequential = *cf.seq },
+		"seed":        func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
+	}
+	if *cf.spec == "" {
+		for _, apply := range overlays {
+			apply(&spec)
+		}
+		return spec, nil
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if apply, ok := overlays[f.Name]; ok {
+			apply(&spec)
+		}
+	})
+	return spec, nil
+}
+
+// flagWasSet reports whether the user set the named flag explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func main() {
-	var (
-		tableFlag    = flag.String("table", "", "efficiency-table JSON from hercules-profile (default: quick calibration)")
-		modelsFlag   = flag.String("models", "DLRM-RMC1,DLRM-RMC2", "workload models")
-		fleetFlag    = flag.String("fleet", "small", "fleet: small (T2/T3/T7), cpu, default or accelerated")
-		routersFlag  = flag.String("routers", "rr,least,p2c,hetero", "routing policies to replay")
-		policiesFlag = flag.String("policies", "greedy,hercules", "provisioning policies to replay")
-		daysFlag     = flag.Int("days", 1, "days of diurnal load")
-		stepMinFlag  = flag.Float64("step-min", 60, "trace interval in minutes (>= 24 intervals per day at 60)")
-		peakFlag     = flag.Float64("peak", 0, "per-workload peak QPS (0 = auto-size to fleet)")
-		headroomFlag = flag.Float64("headroom", 0.15, "provisioning over-provision rate R")
-		queueFlag    = flag.Int("queue", 32, "per-server bounded queue slots")
-		sliceFlag    = flag.Float64("slice", 8, "sampled traffic slice per interval (seconds)")
-		windowFlag   = flag.Float64("window", 1, "tail observation window (seconds)")
-		maxQFlag     = flag.Int("max-queries", 150000, "replayed-query budget per interval")
-		batchFlag    = flag.Int("batch", 1, "dynamic batching: max queries coalesced per dispatch (1 = off)")
-		batchWaitMS  = flag.Float64("batch-wait", 2, "max batch-formation wait in milliseconds")
-		shardsFlag   = flag.Int("shards", 0, "per-model shard fan-out (0 = NumCPU)")
-		seqFlag      = flag.Bool("sequential", false, "disable the parallel worker pool")
-		noScaleFlag  = flag.Bool("no-autoscale", false, "disable the online autoscaler")
-		seedFlag     = flag.Int64("seed", 42, "deterministic seed")
-		summaryFlag  = flag.Bool("summary", false, "omit per-interval series from the JSON")
-		prettyFlag   = flag.Bool("pretty", false, "indent the JSON output")
-		scenFlag     = flag.String("scenario", "baseline",
-			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array")
-		listScenFlag = flag.Bool("list-scenarios", false, "list the built-in scenarios and exit")
-	)
+	cf := registerFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "Usage: hercules-fleet [flags]")
 		fmt.Fprintln(os.Stderr, "Replays diurnal days of request-level traffic for every router x policy combination.")
+		fmt.Fprintln(os.Stderr, "Runs are described by a fleet.Spec (-spec run.json); flags override its fields.")
 		fmt.Fprintln(os.Stderr, "Without -table, serving configurations are quick-calibrated on the fly (seconds);")
 		fmt.Fprintln(os.Stderr, "pass a hercules-profile table for the full Fig. 9b search results.")
 		fmt.Fprintln(os.Stderr, "\nFlags:")
@@ -102,104 +224,82 @@ func main() {
 	}
 	flag.Parse()
 
-	if *listScenFlag {
+	if *cf.listScen {
 		for _, name := range scenario.Names() {
 			sc, _ := scenario.Named(name)
 			fmt.Print(sc.Summary())
 		}
 		return
 	}
-	scen, err := parseScenario(*scenFlag)
+
+	spec, err := buildSpec(cf, flag.CommandLine)
+	if err != nil {
+		fatal(err)
+	}
+	// The sweep axes: -routers/-policies flags, except that a spec
+	// file's single router/policy wins when the flag is not set — so
+	// feeding a report's embedded spec back reproduces exactly its run.
+	routersArg, policiesArg := *cf.routers, *cf.policies
+	if *cf.spec != "" && !flagWasSet(flag.CommandLine, "routers") {
+		routersArg = spec.Router
+	}
+	if *cf.spec != "" && !flagWasSet(flag.CommandLine, "policies") {
+		policiesArg = spec.Policy
+	}
+	routers, err := parseRouters(routersArg)
+	if err != nil {
+		fatal(err)
+	}
+	policies, err := parsePolicies(policiesArg)
+	if err != nil {
+		fatal(err)
+	}
+	scen, err := scenario.Parse(spec.Scenario)
+	if err != nil {
+		fatal(err)
+	}
+	table, err := loadOrCalibrateTable(*cf.table, spec, spec.Options.Seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	fl, err := parseFleet(*fleetFlag)
-	if err != nil {
-		fatal(err)
-	}
-	names := splitModels(*modelsFlag)
-	routers, err := parseRouters(*routersFlag)
-	if err != nil {
-		fatal(err)
-	}
-	policies, err := parsePolicies(*policiesFlag)
-	if err != nil {
-		fatal(err)
-	}
-
-	table, err := loadOrCalibrateTable(*tableFlag, names, fl, *seedFlag)
-	if err != nil {
-		fatal(err)
-	}
-
-	// Build the diurnal day per workload.
-	peaks := make(map[string]float64, len(names))
-	var ws []cluster.Workload
-	for i, name := range names {
-		peak := *peakFlag
-		if peak <= 0 {
-			peak = autoPeak(table, fl, name, len(names))
-		}
-		peaks[name] = peak
-		cfg := workload.DiurnalConfig{
-			Service:    name,
-			PeakQPS:    peak,
-			ValleyFrac: 0.4,
-			PeakHour:   20,
-			Days:       *daysFlag,
-			StepMin:    *stepMinFlag,
-			NoiseStd:   0.02,
-			Seed:       *seedFlag + int64(i),
-		}
-		ws = append(ws, cluster.Workload{Model: name, Trace: workload.Synthesize(cfg)})
-	}
-
-	opts := fleet.DefaultOptions()
-	opts.QueueCap = *queueFlag
-	opts.SliceS = *sliceFlag
-	opts.WindowS = *windowFlag
-	opts.MaxQueriesPerInterval = *maxQFlag
-	opts.MaxBatch = *batchFlag
-	opts.BatchWaitS = *batchWaitMS / 1e3
-	opts.Shards = *shardsFlag
-	opts.Sequential = *seqFlag
-	opts.Seed = *seedFlag
-
-	rep := report{
-		Models:   names,
-		Fleet:    *fleetFlag,
-		Days:     *daysFlag,
-		StepMin:  *stepMinFlag,
-		PeakQPS:  peaks,
-		Scenario: scen.Name,
-		Seed:     *seedFlag,
-	}
+	rep := report{Spec: spec, Routers: routers, Policies: policies}
 	// A disruption run is always paired with a baseline replay of the
 	// same router × policy so the report carries the divergence.
-	runScens := []scenario.Scenario{scen}
+	runScens := []string{spec.Scenario}
 	if scen.Active() {
 		fmt.Fprint(os.Stderr, scen.Summary())
-		base, _ := scenario.Named("baseline")
-		runScens = []scenario.Scenario{base, scen}
+		runScens = []string{"baseline", spec.Scenario}
 	}
+	ndjsonEnc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	for _, pol := range policies {
 		for _, router := range routers {
 			for _, sc := range runScens {
-				eng := fleet.NewEngine(fl, table, pol, router, opts)
-				eng.Provisioner.OverProvisionR = *headroomFlag
-				if *noScaleFlag {
-					eng.Scaler = nil
-				}
-				if err := eng.ApplyScenario(sc, ws); err != nil {
-					fatal(err)
-				}
-				day, err := eng.RunDay(ws)
+				run := spec
+				run.Policy = pol
+				run.Router = router
+				run.Scenario = sc
+				eng, err := fleet.NewEngine(run, fleet.WithTable(table))
 				if err != nil {
 					fatal(err)
 				}
-				if *summaryFlag {
+				if *cf.ndjson {
+					// Each line carries its run's identity — the sweep
+					// multiplexes every run onto one stream. The scenario
+					// label is the resolved name, not the raw -scenario
+					// argument (which may be @file.json or inline JSON).
+					line := ndjsonInterval{Router: router, Policy: pol, Scenario: eng.Scenario.Name}
+					eng.Observers = append(eng.Observers, fleet.ObserverFunc(func(ist fleet.IntervalStats) {
+						line.IntervalStats = ist
+						ndjsonEnc.Encode(line)
+					}))
+				}
+				day, err := eng.RunDay(eng.Workloads())
+				if err != nil {
+					fatal(err)
+				}
+				if *cf.summary || *cf.ndjson {
 					day.Steps = nil
 				}
 				rep.Runs = append(rep.Runs, day)
@@ -211,46 +311,12 @@ func main() {
 	rep.ElapsedS = time.Since(start).Seconds()
 
 	enc := json.NewEncoder(os.Stdout)
-	if *prettyFlag {
+	if *cf.pretty {
 		enc.SetIndent("", "  ")
 	}
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
-}
-
-// parseScenario resolves the -scenario argument: a built-in name, a
-// JSON spec file (@path), or an inline JSON event array / spec object.
-func parseScenario(s string) (scenario.Scenario, error) {
-	s = strings.TrimSpace(s)
-	switch {
-	case strings.HasPrefix(s, "@"):
-		data, err := os.ReadFile(strings.TrimPrefix(s, "@"))
-		if err != nil {
-			return scenario.Scenario{}, err
-		}
-		return scenario.FromJSON(data)
-	case strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{"):
-		return scenario.FromJSON([]byte(s))
-	default:
-		return scenario.Named(s)
-	}
-}
-
-func parseFleet(s string) (hw.Fleet, error) {
-	switch strings.ToLower(s) {
-	case "small":
-		// The Fig. 13-online replay fleet — shared with the experiments
-		// driver so CLI runs stay comparable to the benchmark record.
-		return experiments.FleetFleet(), nil
-	case "default":
-		return hw.DefaultFleet(), nil
-	case "cpu":
-		return hw.CPUOnlyFleet(), nil
-	case "accelerated":
-		return hw.AcceleratedFleet(), nil
-	}
-	return hw.Fleet{}, fmt.Errorf("unknown fleet %q", s)
 }
 
 func splitModels(s string) []string {
@@ -265,38 +331,33 @@ func splitModels(s string) []string {
 	return out
 }
 
-func parseRouters(s string) ([]fleet.RouterKind, error) {
-	var out []fleet.RouterKind
+// parseRouters validates each router name against the policy registry;
+// an unknown name fails with the registered names listed.
+func parseRouters(s string) ([]string, error) {
+	var out []string
 	for _, part := range strings.Split(s, ",") {
-		k, err := fleet.ParseRouter(part)
+		name, err := fleet.ParseRouter(part)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, k)
+		out = append(out, name)
 	}
 	return out, nil
 }
 
-func parsePolicies(s string) ([]cluster.Policy, error) {
-	var out []cluster.Policy
+func parsePolicies(s string) ([]string, error) {
+	var out []string
 	for _, part := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(part)) {
-		case "nh":
-			out = append(out, cluster.NH)
-		case "greedy":
-			out = append(out, cluster.Greedy)
-		case "priority":
-			out = append(out, cluster.Priority)
-		case "hercules":
-			out = append(out, cluster.Hercules)
-		default:
-			return nil, fmt.Errorf("unknown policy %q", part)
+		pol, err := cluster.ParsePolicy(part)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, pol.String())
 	}
 	return out, nil
 }
 
-func loadOrCalibrateTable(path string, names []string, fl hw.Fleet, seed int64) (*profiler.Table, error) {
+func loadOrCalibrateTable(path string, spec fleet.Spec, seed int64) (*profiler.Table, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -308,9 +369,13 @@ func loadOrCalibrateTable(path string, names []string, fl hw.Fleet, seed int64) 
 		}
 		return profiler.FromEntries(profiler.Hercules, entries), nil
 	}
+	fl, err := hw.NamedFleet(spec.Fleet)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintln(os.Stderr, "no -table given; calibrating serving configurations (seconds)...")
 	var models []*model.Model
-	for _, name := range names {
+	for _, name := range spec.Models {
 		m, err := model.ByName(name, model.Prod)
 		if err != nil {
 			return nil, err
@@ -318,20 +383,6 @@ func loadOrCalibrateTable(path string, names []string, fl hw.Fleet, seed int64) 
 		models = append(models, m)
 	}
 	return fleet.CalibrateTable(models, fl.Types, seed)
-}
-
-// autoPeak sizes one workload's diurnal peak to ~45% of the fleet's
-// best-case capacity for it, split across the workloads — high enough
-// that stale allocations hurt at the peak, low enough that the fleet
-// is never simply exhausted.
-func autoPeak(table *profiler.Table, fl hw.Fleet, name string, nModels int) float64 {
-	var total float64
-	for i, srv := range fl.Types {
-		if e, ok := table.Get(srv.Type, name); ok && e.QPS > 0 {
-			total += e.QPS * float64(fl.Counts[i])
-		}
-	}
-	return total * 0.45 / float64(nModels)
 }
 
 func fatal(err error) {

@@ -56,13 +56,16 @@ func main() {
 	}}
 
 	run := func(maxBatch int, sc scenario.Scenario) fleet.DayResult {
-		opts := fleet.DefaultOptions()
-		opts.MaxQueriesPerInterval = 40000
-		opts.MaxBatch = maxBatch
-		opts.BatchWaitS = 0.002
-		eng := fleet.NewEngine(fl, table, cluster.Hercules, fleet.PowerOfTwo, opts)
-		eng.Provisioner.OverProvisionR = 0.15
-		eng.Scaler = nil // equal fleet across batch settings
+		spec := fleet.DefaultSpec()
+		spec.Router = fleet.PowerOfTwo
+		spec.Scaler = "none" // equal fleet across batch settings
+		spec.Options.MaxQueriesPerInterval = 40000
+		spec.Options.MaxBatch = maxBatch
+		spec.Options.BatchWaitS = 0.002
+		eng, err := fleet.NewEngine(spec, fleet.WithTable(table), fleet.WithFleet(fl))
+		if err != nil {
+			fatal(err)
+		}
 		if err := eng.ApplyScenario(sc, ws); err != nil {
 			fatal(err)
 		}

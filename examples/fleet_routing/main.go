@@ -62,13 +62,19 @@ func main() {
 		ws = append(ws, cluster.Workload{Model: m.Name, Trace: workload.Synthesize(cfg)})
 	}
 
-	run := func(router fleet.RouterKind, autoscale bool) fleet.DayResult {
-		opts := fleet.DefaultOptions()
-		opts.MaxQueriesPerInterval = 60000
-		eng := fleet.NewEngine(fl, table, cluster.Hercules, router, opts)
-		eng.Provisioner.OverProvisionR = 0.15
+	run := func(router string, autoscale bool) fleet.DayResult {
+		// One serializable Spec describes the run; the loaded table and
+		// the example's explicit fleet ride along as options.
+		spec := fleet.DefaultSpec()
+		spec.Router = router
+		spec.Options.MaxQueriesPerInterval = 60000
 		if !autoscale {
-			eng.Scaler = nil
+			spec.Scaler = "none"
+		}
+		eng, err := fleet.NewEngine(spec, fleet.WithTable(table), fleet.WithFleet(fl))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet_routing:", err)
+			os.Exit(1)
 		}
 		day, err := eng.RunDay(ws)
 		if err != nil {

@@ -24,7 +24,6 @@ import (
 	"hercules/internal/fleet"
 	"hercules/internal/hw"
 	"hercules/internal/model"
-	"hercules/internal/scenario"
 	"hercules/internal/workload"
 )
 
@@ -60,18 +59,17 @@ func main() {
 	}
 
 	run := func(name string, autoscale bool) fleet.DayResult {
-		sc, err := scenario.Named(name)
-		if err != nil {
-			fatal(err)
-		}
-		opts := fleet.DefaultOptions()
-		opts.MaxQueriesPerInterval = 40000
-		eng := fleet.NewEngine(fl, table, cluster.Hercules, fleet.PowerOfTwo, opts)
-		eng.Provisioner.OverProvisionR = 0.15
+		// The scenario rides in the spec by name; RunDay compiles it
+		// against the workloads' trace geometry.
+		spec := fleet.DefaultSpec()
+		spec.Router = fleet.PowerOfTwo
+		spec.Scenario = name
+		spec.Options.MaxQueriesPerInterval = 40000
 		if !autoscale {
-			eng.Scaler = nil
+			spec.Scaler = "none"
 		}
-		if err := eng.ApplyScenario(sc, ws); err != nil {
+		eng, err := fleet.NewEngine(spec, fleet.WithTable(table), fleet.WithFleet(fl))
+		if err != nil {
 			fatal(err)
 		}
 		day, err := eng.RunDay(ws)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"hercules/internal/hw"
 	"hercules/internal/lp"
@@ -36,6 +37,27 @@ func (p Policy) String() string {
 		return "hercules"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PolicyNames lists the provisioning policies in presentation order,
+// spelled the way ParsePolicy accepts them.
+var PolicyNames = []string{"nh", "greedy", "priority", "hercules"}
+
+// ParsePolicy resolves a provisioning policy by name (the serializable
+// policy reference run specs and CLI -policy flags share).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "nh":
+		return NH, nil
+	case "greedy":
+		return Greedy, nil
+	case "priority":
+		return Priority, nil
+	case "hercules":
+		return Hercules, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown policy %q (policies: %s)",
+		s, strings.Join(PolicyNames, ", "))
 }
 
 // Workload pairs a model name with its diurnal load trace.

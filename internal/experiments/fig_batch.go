@@ -40,7 +40,7 @@ var BatchSizes = []int{1, 4, 16}
 
 // BatchRouters are the routing policies compared under batching: the
 // two strongest state-aware policies from the Fig. 13-online replay.
-var BatchRouters = []fleet.RouterKind{fleet.PowerOfTwo, fleet.WeightedHetero}
+var BatchRouters = []string{fleet.PowerOfTwo, fleet.WeightedHetero}
 
 // BatchServers are the pool server types of the capacity sweep: the
 // Fig. 8 characterization trio (DDR4 CPU, NMP, GPU).
@@ -72,13 +72,17 @@ const (
 // profiled (unbatched) capacity.
 var batchLoadLadder = []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5}
 
-// batchOpts mirrors the scenario sweep's budget with batching enabled.
-func batchOpts(seed int64, maxBatch int) fleet.Options {
-	opts := fleetOpts(seed)
-	opts.MaxQueriesPerInterval = 25000
-	opts.MaxBatch = maxBatch
-	opts.BatchWaitS = batchWaitS
-	return opts
+// batchSpec mirrors the scenario sweep's budget with batching enabled
+// and the autoscaler off (equal fleet across batch settings: the
+// provisioner must see only offered load).
+func batchSpec(router string, seed int64, maxBatch int) fleet.Spec {
+	spec := FleetSpec(router, "hercules", seed)
+	spec.Models = []string{batchModel}
+	spec.Scaler = "none"
+	spec.Options.MaxQueriesPerInterval = 25000
+	spec.Options.MaxBatch = maxBatch
+	spec.Options.BatchWaitS = batchWaitS
+	return spec
 }
 
 // BatchFleet is the day replay's cluster: a single-type T2 fleet
@@ -132,17 +136,11 @@ func batchSpike(factor float64) scenario.Scenario {
 // enabled (the BenchmarkFleetDayBatched subject): FleetDay's exact
 // configuration plus the engine's adaptive per-pair batchers capped at
 // maxBatch.
-func FleetDayBatched(router fleet.RouterKind, policy cluster.Policy, maxBatch int, seed int64) (fleet.DayResult, error) {
-	table, err := FleetTable()
-	if err != nil {
-		return fleet.DayResult{}, err
-	}
-	opts := fleetOpts(seed)
-	opts.MaxBatch = maxBatch
-	opts.BatchWaitS = batchWaitS
-	eng := fleet.NewEngine(FleetFleet(), table, policy, router, opts)
-	eng.Provisioner.OverProvisionR = 0.15
-	return eng.RunDay(FleetWorkloads(table, seed))
+func FleetDayBatched(router, policy string, maxBatch int, seed int64) (fleet.DayResult, error) {
+	spec := FleetSpec(router, policy, seed)
+	spec.Options.MaxBatch = maxBatch
+	spec.Options.BatchWaitS = batchWaitS
+	return runFleetSpec(spec, seed)
 }
 
 // BatchCapacityRow is one cell of the latency-bounded-throughput
@@ -208,7 +206,7 @@ func FigBatch(seed int64) (FigBatchResult, error) {
 		for _, router := range BatchRouters {
 			var base float64
 			for _, b := range BatchSizes {
-				row := BatchCapacityRow{Server: server, Router: router.String(), Batch: b}
+				row := BatchCapacityRow{Server: server, Router: router, Batch: b}
 				for _, f := range batchLoadLadder {
 					offered := f * entry.QPS * batchPoolServers
 					queries := workload.NewGenerator(m, offered, mixSeed(seed, int64(b), hashString(server), int64(f*100))).Until(batchPoolSliceS)
@@ -241,9 +239,11 @@ func FigBatch(seed int64) (FigBatchResult, error) {
 		sc := batchSpike(factor)
 		for _, r := range BatchRouters {
 			for _, b := range []int{1, BatchSizes[len(BatchSizes)-1]} {
-				eng := fleet.NewEngine(BatchFleet(), table, cluster.Hercules, r, batchOpts(seed, b))
-				eng.Provisioner.OverProvisionR = 0.15
-				eng.Scaler = nil
+				eng, err := fleet.NewEngine(batchSpec(r, seed, b),
+					fleet.WithTable(table), fleet.WithFleet(BatchFleet()))
+				if err != nil {
+					return res, err
+				}
 				if err := eng.ApplyScenario(sc, ws); err != nil {
 					return res, err
 				}

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"hercules/internal/cluster"
 	"hercules/internal/fleet"
 )
 
@@ -100,13 +99,15 @@ func TestFleetDayBatchedDeterminism(t *testing.T) {
 	}
 	run := func(shards int, sequential bool) []byte {
 		t.Helper()
-		opts := fleetOpts(Seed)
-		opts.Shards = shards
-		opts.Sequential = sequential
-		opts.MaxBatch = 16
-		opts.BatchWaitS = batchWaitS
-		eng := fleet.NewEngine(FleetFleet(), table, cluster.Hercules, fleet.PowerOfTwo, opts)
-		eng.Provisioner.OverProvisionR = 0.15
+		spec := FleetSpec(fleet.PowerOfTwo, "hercules", Seed)
+		spec.Options.Shards = shards
+		spec.Options.Sequential = sequential
+		spec.Options.MaxBatch = 16
+		spec.Options.BatchWaitS = batchWaitS
+		eng, err := fleet.NewEngine(spec, fleet.WithTable(table))
+		if err != nil {
+			t.Fatal(err)
+		}
 		day, err := eng.RunDay(FleetWorkloads(table, Seed))
 		if err != nil {
 			t.Fatal(err)

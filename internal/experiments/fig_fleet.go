@@ -33,13 +33,9 @@ var (
 var FleetModels = []string{"DLRM-RMC1", "DLRM-RMC2"}
 
 // FleetFleet is the replay cluster: plain CPU, NMP and GPU server
-// types at a 76-server scale (the Fig. 8 characterization trio).
-func FleetFleet() hw.Fleet {
-	return hw.Fleet{
-		Types:  []hw.Server{hw.ServerType("T2"), hw.ServerType("T3"), hw.ServerType("T7")},
-		Counts: []int{60, 12, 4},
-	}
-}
+// types at a 76-server scale (the Fig. 8 characterization trio) — the
+// fleet registered as "small" (hw.NamedFleet).
+func FleetFleet() hw.Fleet { return hw.SmallFleet() }
 
 // FleetTable returns the process-wide calibrated efficiency table for
 // the replay experiment: each pair measured once under its default
@@ -83,9 +79,10 @@ func FleetWorkloads(table *profiler.Table, seed int64) []cluster.Workload {
 	return ws
 }
 
-// fleetOpts is the experiment tuning: default engine options with the
-// per-interval query budget lowered so the full router × policy sweep
-// stays fast. Shards is pinned to 1 (instead of the runtime.NumCPU()
+// FleetSpec is the experiment's run spec for one router × policy
+// cell: DefaultSpec (small fleet, RMC1+RMC2, 15% serving headroom)
+// with the per-interval query budget lowered so the full sweep stays
+// fast, and Shards pinned to 1 (instead of the runtime.NumCPU()
 // default): sharding statically partitions each model's instances and
 // traffic, so routing quality degrades with shard count — the recorded
 // tables score routers on whole-pool routing — and pinning makes
@@ -93,27 +90,35 @@ func FleetWorkloads(table *profiler.Table, seed int64) []cluster.Workload {
 // CI gate bounds within 10%) identical on every machine. The replay
 // still flows through the worker pool; TestFleetDayDeterminism covers
 // the many-shard parallel path.
-func fleetOpts(seed int64) fleet.Options {
-	opts := fleet.DefaultOptions()
-	opts.MaxQueriesPerInterval = 40000
-	opts.Shards = 1
-	opts.Seed = seed
-	return opts
+func FleetSpec(router, policy string, seed int64) fleet.Spec {
+	spec := fleet.DefaultSpec()
+	spec.Router = router
+	spec.Policy = policy
+	spec.Models = append([]string(nil), FleetModels...)
+	spec.Options.MaxQueriesPerInterval = 40000
+	spec.Options.Shards = 1
+	spec.Options.Seed = seed
+	return spec
 }
 
-// FleetDay replays one full diurnal day for a single router ×
-// provisioning policy combination (the BenchmarkFleetDay subject).
-func FleetDay(router fleet.RouterKind, policy cluster.Policy, seed int64) (fleet.DayResult, error) {
+// runFleetSpec builds an engine for the spec over the shared memoized
+// calibration table and replays the experiments' common diurnal day.
+func runFleetSpec(spec fleet.Spec, seed int64) (fleet.DayResult, error) {
 	table, err := FleetTable()
 	if err != nil {
 		return fleet.DayResult{}, err
 	}
-	eng := fleet.NewEngine(FleetFleet(), table, policy, router, fleetOpts(seed))
-	// Serving headroom: the cluster layer's 5% interval headroom keeps
-	// servers at ~95% utilization, where any M/G/c queue's tail sits on
-	// the SLA boundary; request-level serving provisions more slack.
-	eng.Provisioner.OverProvisionR = 0.15
+	eng, err := fleet.NewEngine(spec, fleet.WithTable(table))
+	if err != nil {
+		return fleet.DayResult{}, err
+	}
 	return eng.RunDay(FleetWorkloads(table, seed))
+}
+
+// FleetDay replays one full diurnal day for a single router ×
+// provisioning policy combination (the BenchmarkFleetDay subject).
+func FleetDay(router, policy string, seed int64) (fleet.DayResult, error) {
+	return runFleetSpec(FleetSpec(router, policy, seed), seed)
 }
 
 // Fig13OnlineResult compares routers × provisioning policies on
@@ -126,7 +131,7 @@ type Fig13OnlineResult struct {
 // and Hercules provisioning policies.
 func Fig13Online(seed int64) (Fig13OnlineResult, error) {
 	var res Fig13OnlineResult
-	for _, pol := range []cluster.Policy{cluster.Greedy, cluster.Hercules} {
+	for _, pol := range []string{"greedy", "hercules"} {
 		for _, r := range fleet.AllRouters {
 			day, err := FleetDay(r, pol, seed)
 			if err != nil {

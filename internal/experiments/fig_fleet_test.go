@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"hercules/internal/cluster"
 	"hercules/internal/fleet"
 )
 
@@ -108,14 +107,16 @@ func TestFleetDayDeterminism(t *testing.T) {
 	}
 	run := func(sequential bool) []byte {
 		t.Helper()
-		opts := fleetOpts(Seed)
+		spec := FleetSpec(fleet.PowerOfTwo, "hercules", Seed)
 		// Eight shards per model regardless of host core count: the
 		// byte-identity claim must hold for genuinely sharded replays,
 		// not just the single-shard experiment configuration.
-		opts.Shards = 8
-		opts.Sequential = sequential
-		eng := fleet.NewEngine(FleetFleet(), table, cluster.Hercules, fleet.PowerOfTwo, opts)
-		eng.Provisioner.OverProvisionR = 0.15
+		spec.Options.Shards = 8
+		spec.Options.Sequential = sequential
+		eng, err := fleet.NewEngine(spec, fleet.WithTable(table))
+		if err != nil {
+			t.Fatal(err)
+		}
 		day, err := eng.RunDay(FleetWorkloads(table, Seed))
 		if err != nil {
 			t.Fatal(err)

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"hercules/internal/cluster"
 	"hercules/internal/fleet"
-	"hercules/internal/scenario"
 )
 
 // The scenario experiment extends the Fig. 13-online replay from the
@@ -26,40 +24,45 @@ var ScenarioNames = []string{"baseline", "flashcrowd", "regionshift", "failure"}
 // ScenarioRouters are the routing policies compared under each
 // scenario: the load-oblivious baseline and the two strongest
 // state-aware policies from the Fig. 13-online comparison.
-var ScenarioRouters = []fleet.RouterKind{fleet.RoundRobin, fleet.PowerOfTwo, fleet.WeightedHetero}
+var ScenarioRouters = []string{fleet.RoundRobin, fleet.PowerOfTwo, fleet.WeightedHetero}
 
-// scenarioOpts lowers the per-interval query budget so the full
-// scenario × router × autoscaler sweep stays interactive.
-func scenarioOpts(seed int64) fleet.Options {
-	opts := fleet.DefaultOptions()
-	opts.MaxQueriesPerInterval = 25000
-	opts.Seed = seed
-	return opts
+// ScenarioPolicyCells are the registry-selected serving policies the
+// sweep additionally scores under every scenario (on the p2c router):
+// the target-utilization proportional autoscaler and the
+// deadline-aware admission shedder — the two policies that ship
+// through the policy registry rather than the engine's built-in
+// defaults.
+var ScenarioPolicyCells = []struct{ Scaler, Admission string }{
+	{Scaler: "prop"},
+	{Scaler: "breach", Admission: "deadline"},
+}
+
+// ScenarioSpec is the sweep's run spec for one cell: the Fig.
+// 13-online configuration with the per-interval query budget lowered
+// so the full scenario × router × policy sweep stays interactive, the
+// shard pinning released (scenario rows score whole-pool routing under
+// disruption, and the sweep is not a benchmark subject), and the named
+// scenario injected through the spec.
+func ScenarioSpec(name, router string, seed int64) fleet.Spec {
+	spec := fleet.DefaultSpec()
+	spec.Router = router
+	spec.Models = append([]string(nil), FleetModels...)
+	spec.Scenario = name
+	spec.Options.MaxQueriesPerInterval = 25000
+	spec.Options.Seed = seed
+	return spec
 }
 
 // ScenarioDay replays one diurnal day under the named scenario with the
 // given router, provisioning with the Hercules LP policy (autoscale
 // toggles the online autoscaler). It shares the memoized calibration
 // table with the Fig. 13-online experiment.
-func ScenarioDay(name string, router fleet.RouterKind, autoscale bool, seed int64) (fleet.DayResult, error) {
-	sc, err := scenario.Named(name)
-	if err != nil {
-		return fleet.DayResult{}, err
-	}
-	table, err := FleetTable()
-	if err != nil {
-		return fleet.DayResult{}, err
-	}
-	ws := FleetWorkloads(table, seed)
-	eng := fleet.NewEngine(FleetFleet(), table, cluster.Hercules, router, scenarioOpts(seed))
-	eng.Provisioner.OverProvisionR = 0.15
+func ScenarioDay(name, router string, autoscale bool, seed int64) (fleet.DayResult, error) {
+	spec := ScenarioSpec(name, router, seed)
 	if !autoscale {
-		eng.Scaler = nil
+		spec.Scaler = "none"
 	}
-	if err := eng.ApplyScenario(sc, ws); err != nil {
-		return fleet.DayResult{}, err
-	}
-	return eng.RunDay(ws)
+	return runFleetSpec(spec, seed)
 }
 
 // ScenarioRow is one cell of the sweep.
@@ -74,7 +77,9 @@ type FigScenariosResult struct {
 }
 
 // FigScenarios replays every named scenario for every scenario router,
-// with and without the online autoscaler.
+// with and without the online autoscaler, plus one row per
+// ScenarioPolicyCells entry (proportional autoscaler, deadline
+// admission) on the p2c router.
 func FigScenarios(seed int64) (FigScenariosResult, error) {
 	var res FigScenariosResult
 	for _, name := range ScenarioNames {
@@ -87,16 +92,30 @@ func FigScenarios(seed int64) (FigScenariosResult, error) {
 				res.Rows = append(res.Rows, ScenarioRow{Autoscaled: autoscale, Day: day})
 			}
 		}
+		for _, cell := range ScenarioPolicyCells {
+			spec := ScenarioSpec(name, fleet.PowerOfTwo, seed)
+			spec.Scaler = cell.Scaler
+			if cell.Admission != "" {
+				spec.Admission = cell.Admission
+			}
+			day, err := runFleetSpec(spec, seed)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, ScenarioRow{Autoscaled: true, Day: day})
+		}
 	}
 	return res, nil
 }
 
 // Baseline returns the baseline-scenario row matching the given row's
-// router and autoscaler setting (the divergence reference).
+// router, autoscaler setting and serving policies (the divergence
+// reference).
 func (r FigScenariosResult) Baseline(row ScenarioRow) (ScenarioRow, bool) {
 	for _, b := range r.Rows {
 		if b.Day.Scenario == "baseline" && b.Day.Router == row.Day.Router &&
-			b.Autoscaled == row.Autoscaled {
+			b.Autoscaled == row.Autoscaled &&
+			b.Day.Scaler == row.Day.Scaler && b.Day.Admission == row.Day.Admission {
 			return b, true
 		}
 	}
@@ -106,8 +125,8 @@ func (r FigScenariosResult) Baseline(row ScenarioRow) (ScenarioRow, bool) {
 // Render implements Renderer.
 func (r FigScenariosResult) Render() string {
 	var sb strings.Builder
-	header(&sb, "Scenarios: non-stationary traffic, routers x autoscaler (hercules provisioning)")
-	sb.WriteString("scenario\trouter\tautoscale\tsla_viol_min\tdrop_pct\tshed_pct\tmax_p99_ms\tearly_reprov\tenergy_MJ\n")
+	header(&sb, "Scenarios: non-stationary traffic, routers x autoscaler x serving policies (hercules provisioning)")
+	sb.WriteString("scenario\trouter\tscaler\tadmission\tsla_viol_min\tdrop_pct\tshed_pct\tmax_p99_ms\tearly_reprov\tenergy_MJ\n")
 	for _, row := range r.Rows {
 		d := row.Day
 		total := d.TotalQueries + d.TotalShed
@@ -115,12 +134,16 @@ func (r FigScenariosResult) Render() string {
 		if total > 0 {
 			shedPct = 100 * float64(d.TotalShed) / float64(total)
 		}
-		onOff := "off"
-		if row.Autoscaled {
-			onOff = "on"
+		scaler := d.Scaler
+		if scaler == "" {
+			scaler = "off"
 		}
-		fmt.Fprintf(&sb, "%s\t%s\t%s\t%.1f\t%.2f\t%.2f\t%.1f\t%d\t%.1f\n",
-			d.Scenario, d.Router, onOff, d.SLAViolationMin, d.DropFrac*100,
+		admission := d.Admission
+		if admission == "" {
+			admission = "-"
+		}
+		fmt.Fprintf(&sb, "%s\t%s\t%s\t%s\t%.1f\t%.2f\t%.2f\t%.1f\t%d\t%.1f\n",
+			d.Scenario, d.Router, scaler, admission, d.SLAViolationMin, d.DropFrac*100,
 			shedPct, d.MaxP99MS, d.EarlyReprovisions, d.EnergyKJ/1e3)
 	}
 	// Divergence summary: how much damage each scenario adds over its

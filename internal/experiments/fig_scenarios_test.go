@@ -16,9 +16,24 @@ func TestFigScenarios(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(ScenarioNames) * len(ScenarioRouters) * 2
+	want := len(ScenarioNames) * (len(ScenarioRouters)*2 + len(ScenarioPolicyCells))
 	if len(r.Rows) != want {
 		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	// The registry-shipped policies must appear as sweep rows, labeled
+	// by the names the engine resolved them under.
+	sawProp, sawDeadline := false, false
+	for _, row := range r.Rows {
+		if row.Day.Scaler == "prop" {
+			sawProp = true
+		}
+		if row.Day.Admission == "deadline" {
+			sawDeadline = true
+		}
+	}
+	if !sawProp || !sawDeadline {
+		t.Errorf("sweep must include the prop-scaler and deadline-admission rows (prop=%v deadline=%v)",
+			sawProp, sawDeadline)
 	}
 	type key struct {
 		scenario, router string
@@ -27,7 +42,11 @@ func TestFigScenarios(t *testing.T) {
 	byKey := map[key]fleet.DayResult{}
 	for _, row := range r.Rows {
 		d := row.Day
-		byKey[key{d.Scenario, d.Router, row.Autoscaled}] = d
+		if d.Admission == "" && (d.Scaler == "" || d.Scaler == "breach") {
+			// Only default-policy rows index the router × autoscaler
+			// grid; the prop/deadline cells would collide on the key.
+			byKey[key{d.Scenario, d.Router, row.Autoscaled}] = d
+		}
 		if d.TotalQueries <= 0 {
 			t.Fatalf("%s/%s replayed nothing", d.Scenario, d.Router)
 		}
@@ -41,8 +60,8 @@ func TestFigScenarios(t *testing.T) {
 		diverged := false
 		for _, rk := range ScenarioRouters {
 			for _, auto := range []bool{false, true} {
-				base := byKey[key{"baseline", rk.String(), auto}]
-				day := byKey[key{name, rk.String(), auto}]
+				base := byKey[key{"baseline", rk, auto}]
+				day := byKey[key{name, rk, auto}]
 				if day.SLAViolationMin > base.SLAViolationMin ||
 					day.TotalDrops > base.TotalDrops ||
 					day.MaxP99MS > base.MaxP99MS*1.2 {
@@ -69,8 +88,8 @@ func TestFigScenarios(t *testing.T) {
 	// Under the flash crowd, the autoscaler must not make any router
 	// worse on violation minutes (it exists for exactly this event).
 	for _, rk := range ScenarioRouters {
-		off := byKey[key{"flashcrowd", rk.String(), false}]
-		on := byKey[key{"flashcrowd", rk.String(), true}]
+		off := byKey[key{"flashcrowd", rk, false}]
+		on := byKey[key{"flashcrowd", rk, true}]
 		if on.SLAViolationMin > off.SLAViolationMin {
 			t.Errorf("flashcrowd/%s: autoscaler worsened violations %.1f -> %.1f",
 				rk, off.SLAViolationMin, on.SLAViolationMin)

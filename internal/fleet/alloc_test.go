@@ -20,7 +20,10 @@ func TestRouterPickZeroAlloc(t *testing.T) {
 			in.Reset()
 			in.Arrive(0, 100, 1) // outstanding work so state-aware routers scan heaps
 		}
-		router := kind.New()
+		router, err := NewRouter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := stats.NewRand(7)
 		now := 0.0
 		avg := testing.AllocsPerRun(200, func() {
@@ -49,7 +52,10 @@ func TestBatchedArriveZeroAlloc(t *testing.T) {
 			in.EnableBatching(maxBatch, 0.002, eff)
 			in.Reset()
 		}
-		router := kind.New()
+		router, err := NewRouter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := stats.NewRand(13)
 		out := make([]Completion, 0, 2*maxBatch)
 		now := 0.0
@@ -67,7 +73,10 @@ func TestBatchedArriveZeroAlloc(t *testing.T) {
 func TestRouteAndArriveZeroAlloc(t *testing.T) {
 	for _, kind := range AllRouters {
 		insts := constInstances(4, "T2", 0.010, 100, 32)
-		router := kind.New()
+		router, err := NewRouter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := stats.NewRand(11)
 		now := 0.0
 		for _, in := range insts {

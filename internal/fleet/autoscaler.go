@@ -1,15 +1,54 @@
 package fleet
 
-// Autoscaler watches windowed tail latency during the replay and
-// triggers early re-provisioning when the fleet falls behind. Hercules
-// re-provisions on a coarse schedule (tens of minutes) to amortize
-// workload setup; the autoscaler closes the gap the paper leaves open:
-// load that outruns the over-provision headroom *between* scheduled
-// intervals. When Patience consecutive observation windows breach the
-// SLA (tail > SLAFactor × the model's target, or any query dropped),
-// the engine re-provisions at the next interval boundary with the
-// over-provision rate boosted by BoostR; the boost stays in force for
-// exactly HoldIntervals intervals (the triggered re-provision plus
+import "math"
+
+// Scaler is the online autoscaling policy the engine consults during a
+// replay. The engine feeds it every observation window's SLA breach
+// verdict (in virtual-time order) and, at each trace-interval
+// boundary, asks whether to re-provision early and with how much extra
+// over-provision headroom. Scalers registered by name
+// (RegisterScaler) are selectable via Spec.Scaler; a nil Engine.Scaler
+// disables early re-provisioning entirely (scheduled intervals only).
+type Scaler interface {
+	Name() string
+	// Thresholds returns the tail point (e.g. 95 or 99) and the SLA
+	// multiplier the engine's breach verdicts use. Non-positive values
+	// fall back to the defaults (95, 1.0).
+	Thresholds() (tailPct, slaFactor float64)
+	// ObserveWindow feeds one observation window's breach verdict.
+	ObserveWindow(breached bool)
+	// IntervalEnd advances the scaler one trace interval and reports
+	// whether the engine must re-provision early at the next boundary,
+	// plus the extra over-provision headroom currently in force.
+	IntervalEnd() (early bool, extraR float64)
+	// TriggerCount is the number of scaling events so far this run.
+	TriggerCount() int
+}
+
+// UtilizationObserver is an optional Scaler extension: the engine
+// feeds it the fleet's mean service-channel utilization once per
+// interval, after the interval's replay. Utilization-driven policies
+// (ProportionalScaler) implement it; breach-driven policies ignore it.
+type UtilizationObserver interface {
+	ObserveUtilization(util float64)
+}
+
+func init() {
+	RegisterScaler("breach", func() Scaler { return NewAutoscaler() })
+	RegisterScaler("prop", func() Scaler { return NewProportionalScaler() })
+}
+
+// Autoscaler is the breach-driven scaler (registered as "breach"): it
+// watches windowed tail latency during the replay and triggers early
+// re-provisioning when the fleet falls behind. Hercules re-provisions
+// on a coarse schedule (tens of minutes) to amortize workload setup;
+// the autoscaler closes the gap the paper leaves open: load that
+// outruns the over-provision headroom *between* scheduled intervals.
+// When Patience consecutive observation windows breach the SLA (tail >
+// SLAFactor × the model's target, or any query dropped), the engine
+// re-provisions at the next interval boundary with the over-provision
+// rate boosted by BoostR; the boost stays in force for exactly
+// HoldIntervals intervals (the triggered re-provision plus
 // HoldIntervals−1 quiet ones), then decays.
 type Autoscaler struct {
 	// TailPct selects the observed tail point (95 or 99; default 95,
@@ -35,10 +74,22 @@ type Autoscaler struct {
 	Events int
 }
 
-// NewAutoscaler returns an autoscaler with the default tuning.
+// NewAutoscaler returns a breach-driven autoscaler with the default
+// tuning.
 func NewAutoscaler() *Autoscaler {
 	return &Autoscaler{TailPct: 95, SLAFactor: 1.0, Patience: 2, BoostR: 0.25, HoldIntervals: 4}
 }
+
+// Name implements Scaler.
+func (a *Autoscaler) Name() string { return "breach" }
+
+// Thresholds implements Scaler.
+func (a *Autoscaler) Thresholds() (tailPct, slaFactor float64) {
+	return a.TailPct, a.SLAFactor
+}
+
+// TriggerCount implements Scaler.
+func (a *Autoscaler) TriggerCount() int { return a.Events }
 
 // ObserveWindow feeds one observation window's breach verdict, in
 // virtual-time order.
@@ -85,3 +136,73 @@ func (a *Autoscaler) IntervalEnd() (early bool, extraR float64) {
 // the headroom actually applied to the interval's re-provision — not
 // from this lookahead.
 func (a *Autoscaler) Boosted() bool { return a != nil && a.boostLeft > 0 }
+
+// ProportionalScaler is the target-utilization scaler (registered as
+// "prop"): instead of waiting for tails to breach, it holds the
+// fleet's mean service-channel utilization near TargetUtil by scaling
+// the over-provision headroom proportionally to the overshoot —
+// classic proportional control, re-provisioning early whenever the
+// desired headroom moves by more than the hysteresis band. It reacts
+// one interval before a breach-driven scaler would (utilization climbs
+// before tails collapse) at the cost of chasing load the fleet could
+// have absorbed.
+type ProportionalScaler struct {
+	// TargetUtil is the mean busy fraction the scaler steers toward
+	// (default 0.70 — M/G/c tails stay flat below it and take off
+	// beyond it).
+	TargetUtil float64
+	// Gain converts relative overshoot into extra over-provision
+	// headroom: extraR = Gain × (util − target)/target (default 1.0).
+	Gain float64
+	// MaxBoostR caps the extra headroom (default 0.5).
+	MaxBoostR float64
+	// Hysteresis is the smallest change in desired headroom that
+	// forces an early re-provision (default 0.05); smaller drifts keep
+	// the currently applied headroom.
+	Hysteresis float64
+
+	util    float64
+	applied float64
+	events  int
+}
+
+// NewProportionalScaler returns a target-utilization scaler with the
+// default tuning.
+func NewProportionalScaler() *ProportionalScaler {
+	return &ProportionalScaler{TargetUtil: 0.70, Gain: 1.0, MaxBoostR: 0.5, Hysteresis: 0.05}
+}
+
+// Name implements Scaler.
+func (p *ProportionalScaler) Name() string { return "prop" }
+
+// Thresholds implements Scaler: the breach-verdict thresholds stay at
+// the defaults — this scaler does not act on them, but the engine's
+// SLA-violation accounting still uses them.
+func (p *ProportionalScaler) Thresholds() (tailPct, slaFactor float64) { return 95, 1.0 }
+
+// ObserveWindow implements Scaler; the proportional policy is
+// breach-agnostic.
+func (p *ProportionalScaler) ObserveWindow(bool) {}
+
+// ObserveUtilization implements UtilizationObserver.
+func (p *ProportionalScaler) ObserveUtilization(util float64) { p.util = util }
+
+// TriggerCount implements Scaler.
+func (p *ProportionalScaler) TriggerCount() int { return p.events }
+
+// IntervalEnd implements Scaler: proportional control on the last
+// observed mean utilization.
+func (p *ProportionalScaler) IntervalEnd() (early bool, extraR float64) {
+	target := p.TargetUtil
+	if target <= 0 {
+		target = 0.70
+	}
+	want := p.Gain * (p.util - target) / target
+	want = math.Min(math.Max(want, 0), p.MaxBoostR)
+	if math.Abs(want-p.applied) <= p.Hysteresis {
+		return false, p.applied
+	}
+	p.applied = want
+	p.events++
+	return true, want
+}

@@ -16,18 +16,37 @@
 //
 // The surface:
 //
+//   - Spec / NewEngine — a JSON-serializable run description (fleet,
+//     models, policies by registered name, scenario, tuning) plus
+//     functional options (WithTable, WithFleet, WithService,
+//     WithObserver, …) for the process-local pieces a spec cannot
+//     carry. Every CLI, experiment driver and example builds engines
+//     this way, so a run is reproducible from one JSON document;
+//   - the policy registries — RegisterRouter / RegisterScaler /
+//     RegisterAdmission make routing, autoscaling and admission
+//     policies constructible by name; the built-ins (routers rr,
+//     least, p2c, hetero; scalers breach, prop; admission deadline)
+//     register themselves here, and a policy registered by any other
+//     package is immediately selectable by every Spec and CLI flag;
 //   - Engine / RunDay — replay a day of cluster.Workload traces and
 //     return per-interval and aggregate DayResult metrics;
-//   - RouterKind — the per-query routing policies (round-robin,
-//     least-outstanding, power-of-two-choices, heterogeneity-aware);
+//   - Observer — the per-interval streaming hook: RunDay pushes each
+//     finalized IntervalStats through every registered observer, and
+//     DayResult itself is just the built-in aggregation over the same
+//     stream (hercules-fleet -ndjson is a plain observer);
+//   - Router — per-query routing over a model's instance pool;
 //   - Instance — one activated server as an M/G/c/(c+K) queue, with
 //     optional dynamic batching (EnableBatching / Options.MaxBatch);
-//   - Autoscaler — early re-provisioning on windowed SLA breach;
+//   - Scaler — online autoscaling: the breach-driven Autoscaler and
+//     the target-utilization ProportionalScaler ship built in;
+//   - Admission — SLA-aware load shedding at the front door
+//     (DeadlineAdmission sheds on the previous interval's deadline
+//     overshoot); nil admits everything;
 //   - CalibrateTable — a seconds-scale serving table when the full
 //     Fig. 9b profiling run is too slow;
 //   - ApplyScenario / Engine.Timeline — inject an internal/scenario
 //     timeline (flash crowds, failures, derates, shedding) into the
-//     replay.
+//     replay (Spec.Scenario names one and RunDay compiles it).
 //
 // Dynamic batching (Options.MaxBatch > 1) turns each instance into a
 // batcher: queued queries coalesce into batches that launch when full,

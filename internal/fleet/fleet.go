@@ -17,40 +17,41 @@ import (
 	"hercules/internal/workload"
 )
 
-// Options tunes the replay engine.
+// Options tunes the replay engine. It is embedded in Spec, so the
+// field tags define the "options" object of the run-spec JSON.
 type Options struct {
 	// QueueCap is the bounded per-instance dispatch queue (waiting
 	// slots behind the in-service queries).
-	QueueCap int
+	QueueCap int `json:"queue_cap"`
 	// SliceS is the sampled traffic slice simulated per trace interval.
-	SliceS float64
+	SliceS float64 `json:"slice_s"`
 	// WindowS is the tail-observation window within a slice (the
 	// autoscaler's and the SLA-violation metric's granularity).
-	WindowS float64
+	WindowS float64 `json:"window_s"`
 	// ReprovisionEvery is the scheduled re-provisioning period in trace
 	// intervals (the paper re-provisions at coarse intervals to
 	// amortize workload setup).
-	ReprovisionEvery int
+	ReprovisionEvery int `json:"reprovision_every"`
 	// MaxQueriesPerInterval bounds one interval's replayed queries; the
 	// slice shrinks when the offered load would exceed it.
-	MaxQueriesPerInterval int
+	MaxQueriesPerInterval int `json:"max_queries_per_interval"`
 	// MaxBatch enables dynamic per-instance batching: each instance
 	// coalesces up to MaxBatch queued queries into one dispatch, priced
 	// by the service source's batching-efficiency curve (BatchSource).
 	// 1 disables batching and preserves the per-query replay bit for
 	// bit; values below 1 are treated as 1.
-	MaxBatch int
+	MaxBatch int `json:"max_batch"`
 	// BatchWaitS is the longest a forming batch waits for companions
 	// before dispatching anyway — the latency the throughput gain is
 	// bought with. Only meaningful when MaxBatch > 1.
-	BatchWaitS float64
+	BatchWaitS float64 `json:"batch_wait_s"`
 	// Shards caps the per-model shard fan-out (0 = runtime.NumCPU()).
-	Shards int
+	Shards int `json:"shards,omitempty"`
 	// Sequential disables the worker pool (results are identical; the
 	// flag exists for debugging and benchmarking the parallel path).
-	Sequential bool
+	Sequential bool `json:"sequential,omitempty"`
 	// Seed drives all replay randomness.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // DefaultOptions returns the tuning used by the experiments: 8-second
@@ -70,29 +71,59 @@ func DefaultOptions() Options {
 }
 
 // Engine replays days of traffic against a provisioned fleet.
+// NewEngine assembles one from a serializable Spec; the exported
+// fields remain assignable for tests and tools that compose an engine
+// by hand.
 type Engine struct {
+	// Spec is the normalized run description the engine was built from
+	// (Workloads synthesizes the day it describes). Hand-assembled
+	// engines may leave it zero.
+	Spec        Spec
 	Fleet       hw.Fleet
 	Table       *profiler.Table
 	Provisioner *cluster.Provisioner
-	Router      RouterKind
-	Service     ServiceSource
-	// Scaler is the online autoscaler; nil disables early
+	// Router is the registered name of the per-query routing policy;
+	// RunDay resolves it through the registry, once, and instantiates
+	// a fresh Router per replay shard.
+	Router  string
+	Service ServiceSource
+	// Scaler is the online autoscaling policy; nil disables early
 	// re-provisioning (scheduled intervals only).
-	Scaler *Autoscaler
+	Scaler Scaler
+	// Admission is the SLA-aware load-shedding policy consulted per
+	// interval and workload before routing; nil admits everything.
+	Admission Admission
+	// Scenario is the parsed scenario of the spec; RunDay compiles it
+	// into Timeline against the workloads' trace geometry when
+	// Timeline is nil and the scenario is active.
+	Scenario scenario.Scenario
 	// Timeline injects a compiled non-stationary scenario
 	// (internal/scenario): per-interval load spikes, query-mix shifts,
 	// admission shedding, server kills and derates. nil replays the
 	// unperturbed diurnal baseline.
 	Timeline *scenario.Timeline
-	Opts     Options
+	// Observers receive every interval's finalized stats as the replay
+	// produces them, in order — the streaming hook the DayResult
+	// aggregation itself is built on.
+	Observers []Observer
+	Opts      Options
 
+	newRouter func() Router
 	models    map[string]*model.Model
 	meanSvc   map[pairKey]float64
 	batchEff  map[pairKey][]float64
 	idleW     map[string]float64
+	prevObs   map[string]modelObs
 	instSeq   int
 	baseOverR float64
 	scratch   replayScratch
+}
+
+// modelObs is the per-model observation admission policies condition
+// on: what the previous interval's replayed slice recorded.
+type modelObs struct {
+	p99MS    float64
+	dropFrac float64
 }
 
 // replayScratch holds the buffers one RunDay reuses across intervals so
@@ -125,21 +156,6 @@ func (sc *replayScratch) shard() *shardWork {
 	sw := sc.shards[sc.used]
 	sc.used++
 	return sw
-}
-
-// NewEngine assembles an engine with the default SimService source and
-// autoscaler. The provisioner is built fresh for the given policy so
-// runs with different routers do not share arbitration RNG state.
-func NewEngine(fleet hw.Fleet, table *profiler.Table, policy cluster.Policy, router RouterKind, opts Options) *Engine {
-	return &Engine{
-		Fleet:       fleet,
-		Table:       table,
-		Provisioner: cluster.NewProvisioner(fleet, table, policy, opts.Seed),
-		Router:      router,
-		Service:     SharedSimService(table),
-		Scaler:      NewAutoscaler(),
-		Opts:        opts,
-	}
 }
 
 // ApplyScenario compiles the scenario against the workloads' aligned
@@ -197,10 +213,15 @@ type IntervalStats struct {
 	Boosted             bool    `json:"boosted"`
 }
 
-// DayResult aggregates a full replay.
+// DayResult aggregates a full replay: the fold of the per-interval
+// Observer stream RunDay also hands to caller-registered observers.
 type DayResult struct {
 	Router string `json:"router"`
 	Policy string `json:"policy"`
+	// Scaler and Admission name the run's autoscaling and admission
+	// policies (empty when disabled).
+	Scaler    string `json:"scaler,omitempty"`
+	Admission string `json:"admission,omitempty"`
 	// Scenario names the injected scenario timeline ("baseline" when
 	// the engine replayed the unperturbed diurnal day).
 	Scenario string          `json:"scenario"`
@@ -234,12 +255,27 @@ type DayResult struct {
 // availability. Derates are never reported to the control plane: only
 // tail latency (and hence the autoscaler) can see them.
 func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
-	res := DayResult{Router: e.Router.String(), Policy: e.Provisioner.Kind.String(), Scenario: "baseline"}
-	if e.Timeline != nil && e.Timeline.Name != "" {
-		res.Scenario = e.Timeline.Name
+	res := DayResult{Router: e.Router, Policy: e.Provisioner.Kind.String(), Scenario: "baseline"}
+	if e.Scaler != nil {
+		res.Scaler = e.Scaler.Name()
+	}
+	if e.Admission != nil {
+		res.Admission = e.Admission.Name()
 	}
 	if len(ws) == 0 {
 		return res, fmt.Errorf("fleet: no workloads")
+	}
+	if e.Timeline == nil && e.Scenario.Active() {
+		if err := e.ApplyScenario(e.Scenario, ws); err != nil {
+			return res, err
+		}
+	}
+	if e.Timeline != nil && e.Timeline.Name != "" {
+		res.Scenario = e.Timeline.Name
+	}
+	var err error
+	if e.newRouter, err = RouterFactory(e.Router); err != nil {
+		return res, err
 	}
 	if e.Service == nil {
 		e.Service = NewSimService(e.Table)
@@ -255,6 +291,7 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	e.meanSvc = make(map[pairKey]float64)
 	e.batchEff = make(map[pairKey][]float64)
 	e.idleW = make(map[string]float64)
+	e.prevObs = make(map[string]modelObs, len(ws))
 	e.baseOverR = e.Provisioner.OverProvisionR
 
 	steps := ws[0].Trace.Steps()
@@ -291,6 +328,13 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		}()
 	}
 
+	// The DayResult aggregation is itself an Observer on the interval
+	// stream — the first in line, ahead of any caller-registered sinks,
+	// so external observers see exactly what the aggregate is built
+	// from.
+	agg := &dayAggregator{res: &res}
+	sinks := append([]Observer{agg}, e.Observers...)
+
 	var insts map[string][]*Instance
 	var active cluster.StepResult
 	earlyPending := false
@@ -314,10 +358,6 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 			e.Provisioner.Unavailable = knownFleet.Killed
 			active = e.Provisioner.Step(loads)
 			insts = e.buildInstances(active.Alloc)
-			res.Reprovisions++
-			if earlyPending && !scheduled {
-				res.EarlyReprovisions++
-			}
 		}
 
 		pools, dead := e.effectiveInstances(insts, eff)
@@ -333,9 +373,14 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		ist.DeadServers = dead
 		ist.ProvisionedKW = active.ProvisionedPowerW / 1e3
 		ist.ProvisionedEnergyKJ = active.ProvisionedPowerW * stepS / 1e3
-		res.Steps = append(res.Steps, ist)
+		for _, o := range sinks {
+			o.ObserveInterval(ist)
+		}
 
-		earlyPending, extraR = e.Scaler.IntervalEnd()
+		earlyPending, extraR = false, 0
+		if e.Scaler != nil {
+			earlyPending, extraR = e.Scaler.IntervalEnd()
+		}
 		if !eff.SameFleetState(knownFleet) {
 			// Health checks noticed servers dying or returning during
 			// this interval: re-provision at the next boundary against
@@ -343,25 +388,10 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 			knownFleet = eff
 			earlyPending = true
 		}
-
-		res.TotalQueries += ist.Queries
-		res.TotalDrops += ist.Drops
-		res.TotalShed += ist.Shed
-		res.SLAViolationMin += ist.ViolationMin
-		res.EnergyKJ += ist.EnergyKJ
-		res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
-		res.MeanP95MS += ist.P95MS
-		res.MeanP99MS += ist.P99MS
-		res.MaxP95MS = math.Max(res.MaxP95MS, ist.P95MS)
-		res.MaxP99MS = math.Max(res.MaxP99MS, ist.P99MS)
 	}
-	res.MeanP95MS /= float64(steps)
-	res.MeanP99MS /= float64(steps)
-	if res.TotalQueries > 0 {
-		res.DropFrac = float64(res.TotalDrops) / float64(res.TotalQueries)
-	}
+	agg.finish(steps)
 	if e.Scaler != nil {
-		res.AutoscaleEvents = e.Scaler.Events
+		res.AutoscaleEvents = e.Scaler.TriggerCount()
 	}
 	e.Provisioner.OverProvisionR = e.baseOverR
 	e.Provisioner.Unavailable = nil
@@ -611,12 +641,12 @@ type shardWork struct {
 	insts     []*Instance
 	queries   []workload.Query
 
-	kind     RouterKind
-	seed     int64
-	windowW  float64
-	windows  int
-	sliceS   float64 // busy-accounting horizon for this interval's slice
-	maxBatch int     // > 1 selects the dynamic-batching replay loop
+	newRouter func() Router
+	seed      int64
+	windowW   float64
+	windows   int
+	sliceS    float64 // busy-accounting horizon for this interval's slice
+	maxBatch  int     // > 1 selects the dynamic-batching replay loop
 
 	// comps is the per-arrival completions scratch of the batched loop,
 	// reused across queries and intervals.
@@ -652,7 +682,7 @@ func (w *shardWork) reset(windows int) {
 }
 
 func (w *shardWork) run() {
-	router := w.kind.New()
+	router := w.newRouter()
 	rng := stats.NewRand(w.seed)
 	for _, in := range w.insts {
 		in.ResetSlice(w.sliceS)
@@ -794,7 +824,7 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			sh.reset(windows)
 			sh.modelName = m
 			sh.slaMS = sla
-			sh.kind = e.Router
+			sh.newRouter = e.newRouter
 			sh.seed = mixSeed(e.Opts.Seed, int64(idx), int64(mi)<<8|int64(s))
 			sh.windowW = windowW
 			sh.sliceS = sliceS
@@ -813,7 +843,24 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		}
 		queries := gen.AppendUntil(scr.queries[:0], sliceS)
 		scr.queries = queries[:0]
-		if frac := eff.Shed(m); frac > 0 {
+		// Two shedding sources compose at the door: the scenario's
+		// load-shedding drills and the engine's admission policy (which
+		// conditions on what the previous interval observed). Independent
+		// Bernoulli thinnings compose multiplicatively.
+		frac := eff.Shed(m)
+		if e.Admission != nil {
+			prev := e.prevObs[m]
+			af := e.Admission.ShedFrac(AdmissionSignal{
+				Model:        m,
+				SLATargetMS:  sla,
+				OfferedQPS:   loads[m],
+				PrevP99MS:    prev.p99MS,
+				PrevDropFrac: prev.dropFrac,
+			})
+			af = math.Min(math.Max(af, 0), 0.95)
+			frac = 1 - (1-frac)*(1-af)
+		}
+		if frac > 0 {
 			// Admission control drops a deterministic Bernoulli thinning
 			// of the stream (in place); shed queries never reach a router.
 			shedR := stats.NewRand(mixSeed(e.Opts.Seed, 0x5ed0+int64(idx), int64(mi)))
@@ -858,11 +905,12 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	// sorted once for its percentile reads.
 	tailPct, slaFactor := 95.0, 1.0
 	if e.Scaler != nil {
-		if e.Scaler.TailPct > 0 {
-			tailPct = e.Scaler.TailPct
+		tp, sf := e.Scaler.Thresholds()
+		if tp > 0 {
+			tailPct = tp
 		}
-		if e.Scaler.SLAFactor > 0 {
-			slaFactor = e.Scaler.SLAFactor
+		if sf > 0 {
+			slaFactor = sf
 		}
 	}
 	for cap(scr.breached) < windows {
@@ -892,13 +940,22 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			}
 			scr.winBuf = winBuf[:0]
 		}
+		mQueries, mDrops := 0, 0
 		for _, sh := range shards {
-			ist.Queries += len(sh.queries)
-			ist.Drops += sh.dropped
+			mQueries += len(sh.queries)
+			mDrops += sh.dropped
 		}
+		ist.Queries += mQueries
+		ist.Drops += mDrops
 		allBuf = append(allBuf, mBuf...)
 		ist.ModelP95MS[m] = stats.PercentileSelect(mBuf, 95)
 		ist.ModelP99MS[m] = stats.PercentileSelect(mBuf, 99)
+		// Record what admission policies may condition on next interval.
+		obs := modelObs{p99MS: ist.ModelP99MS[m]}
+		if mQueries > 0 {
+			obs.dropFrac = float64(mDrops) / float64(mQueries)
+		}
+		e.prevObs[m] = obs
 		scr.modelBuf = mBuf[:0]
 	}
 	ist.P50MS = stats.PercentileSelect(allBuf, 50)
@@ -909,14 +966,18 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		if b {
 			ist.WindowsBreached++
 		}
-		e.Scaler.ObserveWindow(b)
+		if e.Scaler != nil {
+			e.Scaler.ObserveWindow(b)
+		}
 	}
 	ist.ViolationMin = stepS / 60 * float64(ist.WindowsBreached) / float64(windows)
 
 	// Energy: every activated instance idles for the whole interval and
 	// adds utilization-proportional dynamic power up to its profiled
-	// provisioned budget.
-	var watts float64
+	// provisioned budget. The same sweep yields the fleet's mean
+	// channel utilization for utilization-driven scalers.
+	var watts, utilSum float64
+	nInsts := 0
 	for _, m := range names {
 		for _, in := range insts[m] {
 			idle := e.idleWatts(in.Type)
@@ -924,10 +985,16 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			if entry, ok := e.Table.Get(in.Type, in.Model); ok {
 				peak = math.Max(entry.PowerW, idle)
 			}
-			watts += idle + (peak-idle)*in.Utilization(sliceS)
+			u := in.Utilization(sliceS)
+			watts += idle + (peak-idle)*u
+			utilSum += u
+			nInsts++
 		}
 	}
 	ist.EnergyKJ = watts * stepS / 1e3
+	if uo, ok := e.Scaler.(UtilizationObserver); ok && nInsts > 0 {
+		uo.ObserveUtilization(utilSum / float64(nInsts))
+	}
 	return ist
 }
 
@@ -942,13 +1009,18 @@ type SliceResult struct {
 }
 
 // ReplaySlice routes one query stream (in arrival order) over the
-// given instances with a fresh router of the given kind — the
-// single-shard building block RunDay composes, exported for tests and
-// tools that want router behavior without provisioning. Batching
+// given instances with a fresh router of the given registered name —
+// the single-shard building block RunDay composes, exported for tests
+// and tools that want router behavior without provisioning. Batching
 // instances (EnableBatching) are served through the dynamic-batching
-// path, including the end-of-slice drain of forming batches.
-func ReplaySlice(kind RouterKind, insts []*Instance, queries []workload.Query, seed int64) SliceResult {
-	router := kind.New()
+// path, including the end-of-slice drain of forming batches. An
+// unregistered router name panics: callers pass compile-time policy
+// names, never user input (route user input through ParseRouter).
+func ReplaySlice(routerName string, insts []*Instance, queries []workload.Query, seed int64) SliceResult {
+	router, err := NewRouter(routerName)
+	if err != nil {
+		panic(err)
+	}
 	rng := stats.NewRand(seed)
 	var res SliceResult
 	var comps []Completion

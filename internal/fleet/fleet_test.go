@@ -47,10 +47,14 @@ func p95ms(lats []float64) float64 {
 
 func TestRouterParseRoundTrip(t *testing.T) {
 	for _, k := range AllRouters {
-		got, err := ParseRouter(k.String())
+		got, err := ParseRouter(k)
 		if err != nil || got != k {
-			t.Errorf("ParseRouter(%q) = %v, %v", k.String(), got, err)
+			t.Errorf("ParseRouter(%q) = %v, %v", k, got, err)
 		}
+	}
+	// Long aliases normalize to canonical registered names.
+	if got, err := ParseRouter(" Round-Robin "); err != nil || got != RoundRobin {
+		t.Errorf("ParseRouter(alias) = %q, %v", got, err)
 	}
 	if _, err := ParseRouter("nope"); err == nil {
 		t.Error("ParseRouter must reject unknown names")
@@ -109,8 +113,8 @@ func TestP2CBeatsRoundRobinOnImbalance(t *testing.T) {
 		}
 		return float64(bad) / float64(len(queries))
 	}
-	viol := make(map[RouterKind]float64, len(AllRouters))
-	drops := make(map[RouterKind]int, len(AllRouters))
+	viol := make(map[string]float64, len(AllRouters))
+	drops := make(map[string]int, len(AllRouters))
 	for _, k := range AllRouters {
 		res := ReplaySlice(k, build(), queries, 11)
 		if res.Served == 0 {
@@ -122,7 +126,7 @@ func TestP2CBeatsRoundRobinOnImbalance(t *testing.T) {
 	if drops[RoundRobin] == 0 {
 		t.Error("round robin must overflow the straggler's queue")
 	}
-	for _, k := range []RouterKind{LeastOutstanding, PowerOfTwo, WeightedHetero} {
+	for _, k := range []string{LeastOutstanding, PowerOfTwo, WeightedHetero} {
 		if viol[k] >= viol[RoundRobin] {
 			t.Errorf("%v violation rate %.3f must beat round-robin %.3f",
 				k, viol[k], viol[RoundRobin])
@@ -219,14 +223,22 @@ func stepTrace(loads ...float64) workload.DiurnalTrace {
 	return workload.DiurnalTrace{Service: "test", StepS: 600, LoadsQPS: loads}
 }
 
-func testEngine(router RouterKind, opts Options) *Engine {
-	e := NewEngine(testFleet(), testTable(), cluster.Greedy, router, opts)
+func testEngine(router string, opts Options) *Engine {
 	// 5 ms constant service — well inside RMC1's 20 ms SLA, so a
 	// provisioned fleet has real headroom and does not breach; with the
 	// 200-QPS profiled capacity the engine calibrates concurrency 1, so
 	// each server tops out at 200 QPS and only genuine overload shows
 	// up as queueing, breach and drops.
-	e.Service = svcFunc(func(st, m string, size int, scale float64) float64 { return 0.005 })
+	// HeadroomR 0.05 pins the cluster layer's interval headroom the
+	// pre-redesign test engine ran with (the goldens were recorded at
+	// it); production specs default to 0.15 serving headroom.
+	e, err := NewEngine(Spec{Router: router, Policy: "greedy", Models: []string{"DLRM-RMC1"},
+		HeadroomR: 0.05, Options: opts},
+		WithFleet(testFleet()), WithTable(testTable()),
+		WithService(svcFunc(func(st, m string, size int, scale float64) float64 { return 0.005 })))
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 

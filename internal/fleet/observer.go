@@ -1,0 +1,62 @@
+package fleet
+
+import "math"
+
+// Observer receives each interval's finalized IntervalStats as the
+// replay produces them — the streaming counterpart of DayResult, which
+// is itself just an aggregation built on this hook. Engines call every
+// observer in registration order, synchronously, from the replay
+// goroutine; an observer that must not block the replay should buffer
+// internally. The CLI's live NDJSON output and the DayResult
+// aggregation ride the same hook, so the two can never disagree.
+type Observer interface {
+	ObserveInterval(ist IntervalStats)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ist IntervalStats)
+
+// ObserveInterval implements Observer.
+func (f ObserverFunc) ObserveInterval(ist IntervalStats) { f(ist) }
+
+// dayAggregator folds the per-interval stream into a DayResult: the
+// internal observer RunDay installs ahead of any caller-registered
+// ones. Accumulation order matches the interval stream exactly, so the
+// aggregate is a pure function of the IntervalStats sequence — what
+// any external observer could recompute for itself.
+type dayAggregator struct {
+	res *DayResult
+}
+
+// ObserveInterval implements Observer.
+func (d *dayAggregator) ObserveInterval(ist IntervalStats) {
+	res := d.res
+	res.Steps = append(res.Steps, ist)
+	if ist.Reprovisioned {
+		res.Reprovisions++
+	}
+	if ist.EarlyReprovision {
+		res.EarlyReprovisions++
+	}
+	res.TotalQueries += ist.Queries
+	res.TotalDrops += ist.Drops
+	res.TotalShed += ist.Shed
+	res.SLAViolationMin += ist.ViolationMin
+	res.EnergyKJ += ist.EnergyKJ
+	res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
+	res.MeanP95MS += ist.P95MS
+	res.MeanP99MS += ist.P99MS
+	res.MaxP95MS = math.Max(res.MaxP95MS, ist.P95MS)
+	res.MaxP99MS = math.Max(res.MaxP99MS, ist.P99MS)
+}
+
+// finish converts the accumulated sums into the day's means and
+// fractions.
+func (d *dayAggregator) finish(steps int) {
+	res := d.res
+	res.MeanP95MS /= float64(steps)
+	res.MeanP99MS /= float64(steps)
+	if res.TotalQueries > 0 {
+		res.DropFrac = float64(res.TotalDrops) / float64(res.TotalQueries)
+	}
+}

@@ -1,27 +1,24 @@
 package fleet
 
 import (
-	"fmt"
 	"math/rand"
 	"strings"
 )
 
-// RouterKind selects a per-query routing policy. A fresh Router (with
-// its own mutable state) is instantiated per replay shard via New.
-type RouterKind int
-
-// Routing policies.
+// Names of the built-in routing policies. A router is selected by its
+// registered name (Spec.Router, ParseRouter, RouterFactory); these
+// constants exist so in-repo callers don't scatter string literals.
 const (
 	// RoundRobin cycles through the model's instances regardless of
 	// state — the heterogeneity- and load-oblivious baseline.
-	RoundRobin RouterKind = iota
+	RoundRobin = "rr"
 	// LeastOutstanding picks the instance with the fewest outstanding
 	// queries (full scan; the classic least-connections balancer).
-	LeastOutstanding
+	LeastOutstanding = "least"
 	// PowerOfTwo samples two random instances and keeps the one with
 	// fewer outstanding queries (Mitzenmacher's power of two choices):
 	// nearly least-outstanding tails at O(1) cost.
-	PowerOfTwo
+	PowerOfTwo = "p2c"
 	// WeightedHetero is the heterogeneity-aware policy: it minimizes
 	// (outstanding+1)/weight where weight is the profiled capacity QPS
 	// of the instance's (server type, model) pair — scaled by the
@@ -30,45 +27,52 @@ const (
 	// in-flight queries — and a V100 server legitimately holds many
 	// more outstanding queries than a small CPU node before it is
 	// considered loaded.
-	WeightedHetero
+	WeightedHetero = "hetero"
 )
 
-// AllRouters lists every routing policy in presentation order.
-var AllRouters = []RouterKind{RoundRobin, LeastOutstanding, PowerOfTwo, WeightedHetero}
+// AllRouters lists the built-in routing policies in presentation
+// order. RouterNames() is the full registry (sorted), including any
+// policies registered outside this package.
+var AllRouters = []string{RoundRobin, LeastOutstanding, PowerOfTwo, WeightedHetero}
 
-// String implements fmt.Stringer.
-func (k RouterKind) String() string {
-	switch k {
-	case RoundRobin:
-		return "rr"
-	case LeastOutstanding:
-		return "least"
-	case PowerOfTwo:
-		return "p2c"
-	case WeightedHetero:
-		return "hetero"
-	}
-	return fmt.Sprintf("RouterKind(%d)", int(k))
+func init() {
+	RegisterRouter(RoundRobin, func() Router { return &roundRobin{} })
+	RegisterRouter(LeastOutstanding, func() Router { return leastOutstanding{} })
+	RegisterRouter(PowerOfTwo, func() Router { return powerOfTwo{} })
+	RegisterRouter(WeightedHetero, func() Router { return weightedHetero{} })
 }
 
-// ParseRouter maps a policy name to its kind.
-func ParseRouter(s string) (RouterKind, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "rr", "round-robin", "roundrobin":
-		return RoundRobin, nil
-	case "least", "least-outstanding", "lor":
-		return LeastOutstanding, nil
-	case "p2c", "power-of-two", "poweroftwo":
-		return PowerOfTwo, nil
-	case "hetero", "weighted", "heterogeneity-aware":
-		return WeightedHetero, nil
+// routerAliases maps accepted long spellings to registered names.
+var routerAliases = map[string]string{
+	"round-robin":         RoundRobin,
+	"roundrobin":          RoundRobin,
+	"least-outstanding":   LeastOutstanding,
+	"lor":                 LeastOutstanding,
+	"power-of-two":        PowerOfTwo,
+	"poweroftwo":          PowerOfTwo,
+	"weighted":            WeightedHetero,
+	"heterogeneity-aware": WeightedHetero,
+}
+
+// ParseRouter normalizes a router name (case, whitespace, the long
+// aliases of the built-ins) and validates it against the registry,
+// returning the canonical registered name. The error on an unknown
+// name lists every registered router.
+func ParseRouter(s string) (string, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	if canon, ok := routerAliases[name]; ok {
+		name = canon
 	}
-	return 0, fmt.Errorf("fleet: unknown router %q", s)
+	if _, err := RouterFactory(name); err != nil {
+		return "", err
+	}
+	return name, nil
 }
 
 // Router picks a destination among a model's instances for each query.
 // Implementations may keep per-shard state (e.g. a round-robin cursor)
-// and are not safe for concurrent use.
+// and are not safe for concurrent use: the engine instantiates a fresh
+// Router per replay shard through the registered factory.
 type Router interface {
 	Name() string
 	// Pick returns the index of the chosen instance. The slice is
@@ -76,23 +80,9 @@ type Router interface {
 	Pick(insts []*Instance, now float64, rng *rand.Rand) int
 }
 
-// New instantiates a fresh router of this kind.
-func (k RouterKind) New() Router {
-	switch k {
-	case LeastOutstanding:
-		return &leastOutstanding{}
-	case PowerOfTwo:
-		return &powerOfTwo{}
-	case WeightedHetero:
-		return &weightedHetero{}
-	default:
-		return &roundRobin{}
-	}
-}
-
 type roundRobin struct{ next int }
 
-func (r *roundRobin) Name() string { return RoundRobin.String() }
+func (r *roundRobin) Name() string { return RoundRobin }
 
 func (r *roundRobin) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	i := r.next % len(insts)
@@ -102,7 +92,7 @@ func (r *roundRobin) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 
 type leastOutstanding struct{}
 
-func (leastOutstanding) Name() string { return LeastOutstanding.String() }
+func (leastOutstanding) Name() string { return LeastOutstanding }
 
 func (leastOutstanding) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	best, bestOut := 0, insts[0].Outstanding(now)
@@ -116,7 +106,7 @@ func (leastOutstanding) Pick(insts []*Instance, now float64, rng *rand.Rand) int
 
 type powerOfTwo struct{}
 
-func (powerOfTwo) Name() string { return PowerOfTwo.String() }
+func (powerOfTwo) Name() string { return PowerOfTwo }
 
 func (powerOfTwo) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	n := len(insts)
@@ -136,7 +126,7 @@ func (powerOfTwo) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 
 type weightedHetero struct{}
 
-func (weightedHetero) Name() string { return WeightedHetero.String() }
+func (weightedHetero) Name() string { return WeightedHetero }
 
 func (weightedHetero) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	best, bestLoad := 0, heteroLoad(insts[0], now)

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"fmt"
+
+	"hercules/internal/cluster"
+	"hercules/internal/hw"
+	"hercules/internal/model"
+	"hercules/internal/profiler"
+	"hercules/internal/scenario"
+	"hercules/internal/workload"
+)
+
+// Spec is the one JSON-serializable description of a fleet replay run:
+// the named fleet, the workload models, every policy by its registered
+// name, the scenario, the trace geometry and the engine tuning. CLIs,
+// experiment drivers and examples all construct engines from a Spec
+// (NewEngine), so a run can be saved, diffed, and replayed from a
+// single JSON document — `hercules-fleet -spec run.json` — instead of
+// a per-caller pile of options plumbing.
+//
+// Zero values defer to DefaultSpec: an empty Fleet means "small", an
+// empty Router "p2c", and an all-zero Options means DefaultOptions().
+// The explicit string "none" disables the autoscaler or admission
+// policy (an empty string selects the default).
+type Spec struct {
+	// Fleet names the cluster (hw.NamedFleet): small, cpu, default or
+	// accelerated. WithFleet overrides it for unnamed fleets.
+	Fleet string `json:"fleet,omitempty"`
+	// Models are the workload models replayed against the fleet.
+	Models []string `json:"models,omitempty"`
+	// Router, Policy, Scaler and Admission select policies by
+	// registered name (RouterNames, cluster.PolicyNames, ScalerNames,
+	// AdmissionNames).
+	Router    string `json:"router,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	Scaler    string `json:"scaler,omitempty"`
+	Admission string `json:"admission,omitempty"`
+	// Scenario injects a non-stationary timeline: a built-in name, a
+	// @file.json reference, or inline JSON (scenario.Parse).
+	Scenario string `json:"scenario,omitempty"`
+	// HeadroomR is the provisioner's over-provision rate R; 0 defers
+	// to DefaultSpec's serving headroom (0.15).
+	HeadroomR float64 `json:"headroom_r,omitempty"`
+	// Days, StepMin and PeakQPS shape the synthesized diurnal day
+	// (Engine.Workloads); PeakQPS 0 auto-sizes each workload's peak to
+	// ~45% of the fleet's capacity for it.
+	Days    int     `json:"days,omitempty"`
+	StepMin float64 `json:"step_min,omitempty"`
+	PeakQPS float64 `json:"peak_qps,omitempty"`
+	// Options is the engine tuning (batching, slice geometry, seed).
+	Options Options `json:"options"`
+}
+
+// DefaultSpec returns the canonical run: the small characterization
+// fleet serving RMC1+RMC2 for one diurnal day, p2c routing, Hercules
+// provisioning at 15% headroom, the breach autoscaler, no admission
+// shedding, and DefaultOptions tuning.
+func DefaultSpec() Spec {
+	return Spec{
+		Fleet:     "small",
+		Models:    []string{"DLRM-RMC1", "DLRM-RMC2"},
+		Router:    PowerOfTwo,
+		Policy:    "hercules",
+		Scaler:    "breach",
+		Admission: "none",
+		Scenario:  "baseline",
+		HeadroomR: 0.15,
+		Days:      1,
+		StepMin:   60,
+		Options:   DefaultOptions(),
+	}
+}
+
+// withDefaults fills a spec's zero values from DefaultSpec.
+func (s Spec) withDefaults() Spec {
+	def := DefaultSpec()
+	if s.Fleet == "" {
+		s.Fleet = def.Fleet
+	}
+	if len(s.Models) == 0 {
+		s.Models = def.Models
+	}
+	if s.Router == "" {
+		s.Router = def.Router
+	}
+	if s.Policy == "" {
+		s.Policy = def.Policy
+	}
+	if s.Scaler == "" {
+		s.Scaler = def.Scaler
+	}
+	if s.Admission == "" {
+		s.Admission = def.Admission
+	}
+	if s.Scenario == "" {
+		s.Scenario = def.Scenario
+	}
+	if s.HeadroomR <= 0 {
+		s.HeadroomR = def.HeadroomR
+	}
+	if s.Days <= 0 {
+		s.Days = def.Days
+	}
+	if s.StepMin <= 0 {
+		s.StepMin = def.StepMin
+	}
+	if s.Options == (Options{}) {
+		s.Options = def.Options
+	}
+	return s
+}
+
+// Option customizes NewEngine beyond what a serializable Spec can
+// carry: process-local objects like a loaded profiler table, a stubbed
+// service source, a custom fleet, or observer hooks.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	fleet        *hw.Fleet
+	table        *profiler.Table
+	service      ServiceSource
+	scaler       Scaler
+	scalerSet    bool
+	admission    Admission
+	admissionSet bool
+	observers    []Observer
+}
+
+// WithFleet overrides the spec's named fleet with an explicit one —
+// for clusters that have no name (synthetic test fleets, experiment
+// pools).
+func WithFleet(fl hw.Fleet) Option { return func(c *engineConfig) { c.fleet = &fl } }
+
+// WithTable supplies the profiled efficiency table. Without it,
+// NewEngine quick-calibrates the spec's (model, server type) pairs on
+// the fly (seconds — CalibrateTable), which is convenient but
+// recalibrates per engine.
+func WithTable(t *profiler.Table) Option { return func(c *engineConfig) { c.table = t } }
+
+// WithService overrides the per-query service-time source (default:
+// the process-wide shared SimService over the engine's table).
+func WithService(src ServiceSource) Option { return func(c *engineConfig) { c.service = src } }
+
+// WithScaler overrides the spec's named autoscaler with a constructed
+// one (custom tuning); WithScaler(nil) disables autoscaling.
+func WithScaler(s Scaler) Option {
+	return func(c *engineConfig) { c.scaler, c.scalerSet = s, true }
+}
+
+// WithAdmission overrides the spec's named admission policy with a
+// constructed one; WithAdmission(nil) admits everything.
+func WithAdmission(a Admission) Option {
+	return func(c *engineConfig) { c.admission, c.admissionSet = a, true }
+}
+
+// WithObserver registers a per-interval stats sink (Observer) on the
+// engine; repeat for several sinks.
+func WithObserver(o Observer) Option {
+	return func(c *engineConfig) { c.observers = append(c.observers, o) }
+}
+
+// NewEngine assembles a replay engine from a serializable Spec plus
+// process-local options: policies are resolved through the registries
+// by name, the fleet through hw.NamedFleet, the scenario through
+// scenario.Parse, and the provisioner is built fresh so runs with
+// different policies never share arbitration RNG state. An unknown
+// name of any kind is an error (listing what is registered), never a
+// silent fallback.
+func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
+	spec = spec.withDefaults()
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	router, err := ParseRouter(spec.Router)
+	if err != nil {
+		return nil, err
+	}
+	spec.Router = router
+	pol, err := cluster.ParsePolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Parse(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+
+	fl, err := hw.NamedFleet(spec.Fleet)
+	if cfg.fleet != nil {
+		fl, err = *cfg.fleet, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	scaler, err := specScaler(spec.Scaler)
+	if cfg.scalerSet {
+		scaler, err = cfg.scaler, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	admission, err := specAdmission(spec.Admission)
+	if cfg.admissionSet {
+		admission, err = cfg.admission, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	table := cfg.table
+	if table == nil {
+		models := make([]*model.Model, 0, len(spec.Models))
+		for _, name := range spec.Models {
+			m, err := model.ByName(name, model.Prod)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+			models = append(models, m)
+		}
+		if table, err = CalibrateTable(models, fl.Types, spec.Options.Seed); err != nil {
+			return nil, err
+		}
+	}
+	service := cfg.service
+	if service == nil {
+		service = SharedSimService(table)
+	}
+
+	prov := cluster.NewProvisioner(fl, table, pol, spec.Options.Seed)
+	prov.OverProvisionR = spec.HeadroomR
+	return &Engine{
+		Spec:        spec,
+		Fleet:       fl,
+		Table:       table,
+		Provisioner: prov,
+		Router:      router,
+		Service:     service,
+		Scaler:      scaler,
+		Admission:   admission,
+		Scenario:    sc,
+		Observers:   cfg.observers,
+		Opts:        spec.Options,
+	}, nil
+}
+
+// specScaler resolves a spec's autoscaler name ("none" disables).
+func specScaler(name string) (Scaler, error) {
+	if name == "none" {
+		return nil, nil
+	}
+	return NewScaler(name)
+}
+
+// specAdmission resolves a spec's admission-policy name ("none"
+// admits everything).
+func specAdmission(name string) (Admission, error) {
+	if name == "none" {
+		return nil, nil
+	}
+	return NewAdmission(name)
+}
+
+// Workloads synthesizes the engine's diurnal day from its spec: one
+// trace per model over Spec.Days days at Spec.StepMin-minute
+// intervals, peaks at Spec.PeakQPS — or, when 0, auto-sized so each
+// workload peaks at ~45% of the fleet's best-case capacity for it,
+// split across the workloads: high enough that stale allocations hurt
+// at the peak, low enough that the fleet is never simply exhausted.
+func (e *Engine) Workloads() []cluster.Workload {
+	spec := e.Spec.withDefaults()
+	ws := make([]cluster.Workload, 0, len(spec.Models))
+	for i, name := range spec.Models {
+		peak := spec.PeakQPS
+		if peak <= 0 {
+			var total float64
+			for j, srv := range e.Fleet.Types {
+				if entry, ok := e.Table.Get(srv.Type, name); ok && entry.QPS > 0 {
+					total += entry.QPS * float64(e.Fleet.Counts[j])
+				}
+			}
+			peak = total * 0.45 / float64(len(spec.Models))
+		}
+		cfg := workload.DiurnalConfig{
+			Service:    name,
+			PeakQPS:    peak,
+			ValleyFrac: 0.4,
+			PeakHour:   20,
+			Days:       spec.Days,
+			StepMin:    spec.StepMin,
+			NoiseStd:   0.02,
+			Seed:       spec.Options.Seed + int64(i),
+		}
+		ws = append(ws, cluster.Workload{Model: name, Trace: workload.Synthesize(cfg)})
+	}
+	return ws
+}

@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // CPU describes a server-grade multi-core processor.
 type CPU struct {
@@ -276,6 +279,37 @@ func CPUOnlyFleet() Fleet {
 func AcceleratedFleet() Fleet {
 	counts := []int{100, 70, 15, 10, 5, 10, 5, 6, 4, 2}
 	return Fleet{Types: AllServerTypes(), Counts: counts}
+}
+
+// SmallFleet returns the Fig. 8 characterization trio at a 76-server
+// scale — plain DDR4 CPU (T2), NMP (T3) and GPU (T7) servers — the
+// replay cluster of the fleet experiments and the default of
+// spec-driven fleet runs.
+func SmallFleet() Fleet {
+	return Fleet{
+		Types:  []Server{ServerType("T2"), ServerType("T3"), ServerType("T7")},
+		Counts: []int{60, 12, 4},
+	}
+}
+
+// FleetNames lists the named fleets NamedFleet resolves.
+var FleetNames = []string{"small", "cpu", "default", "accelerated"}
+
+// NamedFleet resolves a fleet by name — the serializable fleet
+// reference run specs and CLI -fleet flags share.
+func NamedFleet(name string) (Fleet, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "small":
+		return SmallFleet(), nil
+	case "cpu":
+		return CPUOnlyFleet(), nil
+	case "default":
+		return DefaultFleet(), nil
+	case "accelerated":
+		return AcceleratedFleet(), nil
+	}
+	return Fleet{}, fmt.Errorf("hw: unknown fleet %q (named fleets: %s)",
+		name, strings.Join(FleetNames, ", "))
 }
 
 // Count returns the availability of the given type label, or 0.

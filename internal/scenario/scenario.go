@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 )
@@ -131,6 +132,29 @@ func FromJSON(data []byte) (Scenario, error) {
 		s.Name = "custom"
 	}
 	return s, s.Validate()
+}
+
+// Parse resolves the string form a run spec or -scenario flag carries:
+// a built-in name ("flashcrowd"), a JSON spec file reference
+// ("@events.json"), or inline JSON (an event array or a
+// {"name":...,"events":[...]} object). An empty string is the
+// baseline.
+func Parse(s string) (Scenario, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Scenario{Name: "baseline"}, nil
+	case strings.HasPrefix(s, "@"):
+		data, err := os.ReadFile(strings.TrimPrefix(s, "@"))
+		if err != nil {
+			return Scenario{}, fmt.Errorf("scenario: %w", err)
+		}
+		return FromJSON(data)
+	case strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{"):
+		return FromJSON([]byte(s))
+	default:
+		return Named(s)
+	}
 }
 
 // Summary renders a one-line-per-event description.
