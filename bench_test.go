@@ -269,6 +269,31 @@ func BenchmarkFleetDay(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDayTraced is BenchmarkFleetDay with the per-query
+// tracer sampling 1 in 1024 queries into a counting sink: the CI gate
+// holds the sampled tracer's cost close to the untraced baseline — the
+// low-overhead claim the telemetry layer makes. Every query pays the
+// sampling test; only sampled ones pay event staging.
+func BenchmarkFleetDayTraced(b *testing.B) {
+	if _, err := experiments.FleetTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day, events, err := experiments.FleetDayTraced(fleet.PowerOfTwo, "hercules", 1024, experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("traced fleet day: %d queries, %d trace events, %.1f violation min\n",
+				day.TotalQueries, events, day.SLAViolationMin)
+		}
+		b.ReportMetric(float64(day.TotalQueries), "queries")
+		b.ReportMetric(float64(events), "trace_events")
+		b.ReportMetric(day.DropFrac*100, "drop_pct")
+	}
+}
+
 // BenchmarkFleetDayBatched is BenchmarkFleetDay with dynamic batching
 // enabled (MaxBatch 16, 2 ms formation wait): the engine derives
 // per-pair batch caps from the measured efficiency curves, so this

@@ -15,6 +15,9 @@
 //	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
 //	               [-batch 1] [-batch-wait 2] [-shards 0] [-sequential]
 //	               [-seed 42] [-ndjson] [-summary] [-pretty]
+//	               [-trace-out trace.ndjson] [-trace-chrome trace.json]
+//	               [-trace-sample 1024] [-sketch-tails]
+//	               [-metrics-out metrics.json] [-pprof localhost:6060]
 //
 // Every run is described by a fleet.Spec: -spec loads one from JSON,
 // the other flags override individual fields (an unset flag defers to
@@ -39,12 +42,29 @@
 // while the day runs — the engine's Observer hook, the same stream the
 // final report aggregates — and trims the per-interval series from the
 // closing report.
+//
+// -trace-out / -trace-chrome enable the per-query tracer
+// (internal/telemetry): lifecycle events for 1 in -trace-sample
+// queries (default 1024 when a trace output is requested), exported as
+// NDJSON and/or Chrome trace-event JSON (load the latter in Perfetto
+// or chrome://tracing). Sampling is deterministic in the seed, so two
+// runs of the same spec trace the same queries. When the sweep replays
+// several router × policy runs, their traces append to the same file
+// in execution order. -metrics-out writes a point-in-time snapshot of
+// the telemetry metrics registry (counters, gauges, sketch-backed
+// histograms) accumulated across the sweep. -pprof serves
+// net/http/pprof on the given address for live CPU/heap profiling of
+// long replays.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -55,6 +75,7 @@ import (
 	"hercules/internal/model"
 	"hercules/internal/profiler"
 	"hercules/internal/scenario"
+	"hercules/internal/telemetry"
 )
 
 // ndjsonInterval is one -ndjson stream line: an interval's stats
@@ -106,6 +127,13 @@ type cliFlags struct {
 	ndjson    *bool
 	summary   *bool
 	pretty    *bool
+
+	traceOut    *string
+	traceChrome *string
+	traceSample *int
+	sketchTails *bool
+	metricsOut  *string
+	pprofAddr   *string
 }
 
 // registerFlags wires the flag set; every default is read off
@@ -145,6 +173,15 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		ndjson:    fs.Bool("ndjson", false, "stream per-interval stats as JSON lines while replaying"),
 		summary:   fs.Bool("summary", false, "omit per-interval series from the JSON"),
 		pretty:    fs.Bool("pretty", false, "indent the JSON output"),
+
+		traceOut:    fs.String("trace-out", "", "write sampled per-query trace as NDJSON to this file (- = stdout)"),
+		traceChrome: fs.String("trace-chrome", "", "write sampled per-query trace as Chrome trace-event JSON (Perfetto)"),
+		traceSample: fs.Int("trace-sample", def.Options.TraceSample,
+			"trace 1 in N queries (0 = off; defaults to 1024 when a trace output is set)"),
+		sketchTails: fs.Bool("sketch-tails", def.Options.SketchTails,
+			"compute tail percentiles from mergeable quantile sketches (1% relative error) instead of exact buffers"),
+		metricsOut: fs.String("metrics-out", "", "write a JSON snapshot of the telemetry metrics registry (- = stdout)"),
+		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
 	}
 }
 
@@ -167,24 +204,26 @@ func buildSpec(cf *cliFlags, fs *flag.FlagSet) (fleet.Spec, error) {
 	// cannot override, so keep the table in sync with cliFlags.
 	// -routers/-policies are the sweep axes, applied in main.
 	overlays := map[string]func(*fleet.Spec){
-		"models":      func(s *fleet.Spec) { s.Models = splitModels(*cf.models) },
-		"fleet":       func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
-		"scaler":      func(s *fleet.Spec) { s.Scaler = *cf.scaler },
-		"admission":   func(s *fleet.Spec) { s.Admission = *cf.admission },
-		"scenario":    func(s *fleet.Spec) { s.Scenario = *cf.scen },
-		"days":        func(s *fleet.Spec) { s.Days = *cf.days },
-		"step-min":    func(s *fleet.Spec) { s.StepMin = *cf.stepMin },
-		"peak":        func(s *fleet.Spec) { s.PeakQPS = *cf.peak },
-		"headroom":    func(s *fleet.Spec) { s.HeadroomR = *cf.headroom },
-		"queue":       func(s *fleet.Spec) { s.Options.QueueCap = *cf.queue },
-		"slice":       func(s *fleet.Spec) { s.Options.SliceS = *cf.slice },
-		"window":      func(s *fleet.Spec) { s.Options.WindowS = *cf.window },
-		"max-queries": func(s *fleet.Spec) { s.Options.MaxQueriesPerInterval = *cf.maxQ },
-		"batch":       func(s *fleet.Spec) { s.Options.MaxBatch = *cf.batch },
-		"batch-wait":  func(s *fleet.Spec) { s.Options.BatchWaitS = *cf.batchWait / 1e3 },
-		"shards":      func(s *fleet.Spec) { s.Options.Shards = *cf.shards },
-		"sequential":  func(s *fleet.Spec) { s.Options.Sequential = *cf.seq },
-		"seed":        func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
+		"models":       func(s *fleet.Spec) { s.Models = splitModels(*cf.models) },
+		"fleet":        func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
+		"scaler":       func(s *fleet.Spec) { s.Scaler = *cf.scaler },
+		"admission":    func(s *fleet.Spec) { s.Admission = *cf.admission },
+		"scenario":     func(s *fleet.Spec) { s.Scenario = *cf.scen },
+		"days":         func(s *fleet.Spec) { s.Days = *cf.days },
+		"step-min":     func(s *fleet.Spec) { s.StepMin = *cf.stepMin },
+		"peak":         func(s *fleet.Spec) { s.PeakQPS = *cf.peak },
+		"headroom":     func(s *fleet.Spec) { s.HeadroomR = *cf.headroom },
+		"queue":        func(s *fleet.Spec) { s.Options.QueueCap = *cf.queue },
+		"slice":        func(s *fleet.Spec) { s.Options.SliceS = *cf.slice },
+		"window":       func(s *fleet.Spec) { s.Options.WindowS = *cf.window },
+		"max-queries":  func(s *fleet.Spec) { s.Options.MaxQueriesPerInterval = *cf.maxQ },
+		"batch":        func(s *fleet.Spec) { s.Options.MaxBatch = *cf.batch },
+		"batch-wait":   func(s *fleet.Spec) { s.Options.BatchWaitS = *cf.batchWait / 1e3 },
+		"shards":       func(s *fleet.Spec) { s.Options.Shards = *cf.shards },
+		"sequential":   func(s *fleet.Spec) { s.Options.Sequential = *cf.seq },
+		"seed":         func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
+		"trace-sample": func(s *fleet.Spec) { s.Options.TraceSample = *cf.traceSample },
+		"sketch-tails": func(s *fleet.Spec) { s.Options.SketchTails = *cf.sketchTails },
 	}
 	if *cf.spec == "" {
 		for _, apply := range overlays {
@@ -209,6 +248,29 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 		}
 	})
 	return set
+}
+
+// flushOnExit collects buffered writers that must be flushed before
+// the process exits, on the success path and in fatal().
+var flushOnExit []*bufio.Writer
+
+func flushAll() {
+	for _, w := range flushOnExit {
+		w.Flush()
+	}
+}
+
+// nopCloser shields os.Stdout from the trace sinks' Close (which
+// closes io.Closer destinations — wanted for files, not for stdout).
+type nopCloser struct{ io.Writer }
+
+// openOut opens a trace/metrics destination: "-" is stdout (never
+// closed), anything else a created file.
+func openOut(path string) (io.Writer, error) {
+	if path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
 }
 
 func main() {
@@ -263,6 +325,41 @@ func main() {
 		fatal(err)
 	}
 
+	if *cf.pprofAddr != "" {
+		go func(addr string) {
+			fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}(*cf.pprofAddr)
+	}
+
+	// Trace sinks are opened once and shared by every run in the sweep;
+	// a requested trace output turns sampling on at 1/1024 if the user
+	// did not pick a rate.
+	var traceSinks []telemetry.Sink
+	if *cf.traceOut != "" {
+		w, err := openOut(*cf.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceSinks = append(traceSinks, telemetry.NewNDJSONWriter(w))
+	}
+	if *cf.traceChrome != "" {
+		w, err := openOut(*cf.traceChrome)
+		if err != nil {
+			fatal(err)
+		}
+		traceSinks = append(traceSinks, telemetry.NewChromeWriter(w, spec.Options.SliceS))
+	}
+	if len(traceSinks) > 0 && spec.Options.TraceSample == 0 {
+		spec.Options.TraceSample = 1024
+	}
+	var metricsReg *telemetry.Registry
+	if *cf.metricsOut != "" {
+		metricsReg = telemetry.NewRegistry()
+	}
+
 	rep := report{Spec: spec, Routers: routers, Policies: policies}
 	// A disruption run is always paired with a baseline replay of the
 	// same router × policy so the report carries the divergence.
@@ -271,7 +368,13 @@ func main() {
 		fmt.Fprint(os.Stderr, scen.Summary())
 		runScens = []string{"baseline", spec.Scenario}
 	}
-	ndjsonEnc := json.NewEncoder(os.Stdout)
+	// The -ndjson stream goes through one buffered writer for the whole
+	// sweep: per-interval lines are small and frequent, and an
+	// unbuffered stdout pays a syscall per interval. The buffer is
+	// flushed after the sweep and on every fatal() exit.
+	ndjsonBuf := bufio.NewWriterSize(os.Stdout, 1<<16)
+	flushOnExit = append(flushOnExit, ndjsonBuf)
+	ndjsonEnc := json.NewEncoder(ndjsonBuf)
 	start := time.Now()
 	for _, pol := range policies {
 		for _, router := range routers {
@@ -283,6 +386,14 @@ func main() {
 				eng, err := fleet.NewEngine(run, fleet.WithTable(table))
 				if err != nil {
 					fatal(err)
+				}
+				if eng.Tracer != nil {
+					for _, s := range traceSinks {
+						eng.Tracer.AddSink(s)
+					}
+				}
+				if metricsReg != nil {
+					eng.Observers = append(eng.Observers, fleet.NewMetricsObserver(metricsReg))
 				}
 				if *cf.ndjson {
 					// Each line carries its run's identity — the sweep
@@ -310,6 +421,20 @@ func main() {
 	}
 	rep.ElapsedS = time.Since(start).Seconds()
 
+	// Terminate the trace documents and drain every buffered stream
+	// before the report goes to (possibly the same) stdout.
+	for _, s := range traceSinks {
+		if err := s.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsReg != nil {
+		if err := writeMetrics(*cf.metricsOut, metricsReg); err != nil {
+			fatal(err)
+		}
+	}
+	flushAll()
+
 	enc := json.NewEncoder(os.Stdout)
 	if *cf.pretty {
 		enc.SetIndent("", "  ")
@@ -317,6 +442,24 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+}
+
+// writeMetrics dumps the registry snapshot accumulated across the
+// sweep as indented JSON.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	w, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		return err
+	}
+	if c, ok := w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 func splitModels(s string) []string {
@@ -386,6 +529,7 @@ func loadOrCalibrateTable(path string, spec fleet.Spec, seed int64) (*profiler.T
 }
 
 func fatal(err error) {
+	flushAll()
 	fmt.Fprintln(os.Stderr, "hercules-fleet:", err)
 	os.Exit(1)
 }

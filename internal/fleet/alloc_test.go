@@ -59,9 +59,11 @@ func TestBatchedArriveZeroAlloc(t *testing.T) {
 		rng := stats.NewRand(13)
 		out := make([]Completion, 0, 2*maxBatch)
 		now := 0.0
+		id := int64(0)
 		avg := testing.AllocsPerRun(500, func() {
 			pick := router.Pick(insts, now, rng)
-			out, _ = insts[pick].ArriveBatched(now, 100, 1, out[:0])
+			id++
+			out, _ = insts[pick].ArriveBatched(id, now, 100, 1, out[:0])
 			now += 1e-3
 		})
 		if avg != 0 {

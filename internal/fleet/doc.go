@@ -63,6 +63,20 @@
 // weight to the batched saturation throughput. MaxBatch 1 preserves
 // the original per-query replay bit for bit.
 //
+// Observability rides the replay without participating in it
+// (internal/telemetry): Options.TraceSample enables the per-query
+// tracer — lifecycle events (arrival, shed, route with the inspected
+// candidate set, enqueue, batch, start, end, complete, drop) for a
+// deterministically sampled 1-in-N of the query stream, staged in
+// per-shard buffers and drained in deterministic order, so sequential
+// and parallel replays emit byte-identical traces and the DayResult is
+// unchanged traced or untraced. Routers expose their decision through
+// TracedRouter.PickTraced, contractually identical to Pick.
+// NewMetricsObserver folds the Observer stream into a
+// telemetry.Registry of counters, gauges and sketch-backed histograms,
+// and Options.SketchTails swaps the exact per-window latency buffers
+// for mergeable quantile sketches (stats.Sketch) when days get long.
+//
 // Per-query service times come from the existing internal/sim cost
 // model via SimService; nothing here re-implements server timing. Each
 // activated server is an M/G/c/(c+K) queue whose concurrency c is

@@ -14,6 +14,7 @@ import (
 	"hercules/internal/profiler"
 	"hercules/internal/scenario"
 	"hercules/internal/stats"
+	"hercules/internal/telemetry"
 	"hercules/internal/workload"
 )
 
@@ -50,6 +51,21 @@ type Options struct {
 	// Sequential disables the worker pool (results are identical; the
 	// flag exists for debugging and benchmarking the parallel path).
 	Sequential bool `json:"sequential,omitempty"`
+	// TraceSample enables the deterministically-sampled per-query
+	// tracer: N traces 1 in N queries (1 traces every query), 0
+	// disables tracing. Sample membership is a seeded hash of each
+	// query's (interval, model, index) identity, so parallel and
+	// sequential replays of the same spec trace the same queries and
+	// emit byte-identical event streams. NewEngine materializes the
+	// tracer as Engine.Tracer; attach export sinks there.
+	TraceSample int `json:"trace_sample,omitempty"`
+	// SketchTails replaces the exact per-window latency buffers with
+	// mergeable quantile sketches (stats.Sketch, 1% relative error):
+	// constant memory per window regardless of sample count, at the
+	// cost of tail values that differ from the exact percentiles by up
+	// to the sketch's error bound. Off by default — the golden replays
+	// pin the exact path bit for bit.
+	SketchTails bool `json:"sketch_tails,omitempty"`
 	// Seed drives all replay randomness.
 	Seed int64 `json:"seed"`
 }
@@ -106,7 +122,14 @@ type Engine struct {
 	// produces them, in order — the streaming hook the DayResult
 	// aggregation itself is built on.
 	Observers []Observer
-	Opts      Options
+	// Tracer collects sampled per-query lifecycle events
+	// (telemetry.Kind) when non-nil: shard workers stage events in
+	// per-shard buffers, the replay goroutine drains them in
+	// deterministic shard order after each interval and flushes the
+	// tracer's sinks. NewEngine creates one automatically when
+	// Options.TraceSample > 0; hand-assembled engines set it directly.
+	Tracer *telemetry.Tracer
+	Opts   Options
 
 	newRouter func() Router
 	models    map[string]*model.Model
@@ -140,6 +163,14 @@ type replayScratch struct {
 	modelBuf []float64
 	allBuf   []float64
 	breached []bool
+
+	// shedBuf stages engine-level trace events (arrival + shed for
+	// sampled queries rejected at admission) per model; winSk, modelSk
+	// and allSk are the reused merge targets of the SketchTails path.
+	shedBuf telemetry.ShardBuf
+	winSk   stats.Sketch
+	modelSk stats.Sketch
+	allSk   stats.Sketch
 
 	// Bounded worker pool for one RunDay: workers drain work and tick
 	// wg once per completed shard.
@@ -652,25 +683,51 @@ type shardWork struct {
 	// reused across queries and intervals.
 	comps []Completion
 
+	// trace stages this shard's sampled lifecycle events (single
+	// writer: exactly this shard during the interval); the engine
+	// drains it in deterministic shard order afterwards. traceOn gates
+	// every tracing branch so the untraced replay pays one boolean test
+	// per query.
+	trace   telemetry.ShardBuf
+	traceOn bool
+
+	// useSketch selects the sketch-based tail path: latencies stream
+	// into per-window quantile sketches instead of the exact sample
+	// buffers.
+	useSketch bool
+
 	// outputs
-	winLatS  [][]float64 // per-window latency samples (seconds)
+	winLatS  [][]float64    // per-window latency samples (seconds)
+	winSk    []stats.Sketch // per-window sketches (ms), when useSketch
 	winDrops []int
 	dropped  int
 }
 
 // reset re-arms a pooled shard for an interval with the given window
-// count, reusing every backing array.
-func (w *shardWork) reset(windows int) {
+// count, reusing every backing array. Tracing is re-armed separately
+// (the engine arms trace/traceOn per model).
+func (w *shardWork) reset(windows int, useSketch bool) {
 	w.insts = w.insts[:0]
 	w.queries = w.queries[:0]
 	w.dropped = 0
 	w.windows = windows
+	w.traceOn = false
+	w.useSketch = useSketch
 	for cap(w.winLatS) < windows {
 		w.winLatS = append(w.winLatS[:cap(w.winLatS)], nil)
 	}
 	w.winLatS = w.winLatS[:windows]
 	for i := range w.winLatS {
 		w.winLatS[i] = w.winLatS[i][:0]
+	}
+	if useSketch {
+		for cap(w.winSk) < windows {
+			w.winSk = append(w.winSk[:cap(w.winSk)], stats.Sketch{})
+		}
+		w.winSk = w.winSk[:windows]
+		for i := range w.winSk {
+			armSketch(&w.winSk[i])
+		}
 	}
 	if cap(w.winDrops) < windows {
 		w.winDrops = make([]int, windows)
@@ -679,6 +736,46 @@ func (w *shardWork) reset(windows int) {
 	for i := range w.winDrops {
 		w.winDrops[i] = 0
 	}
+}
+
+// armSketch readies a pooled value sketch: first use initializes it at
+// the engine's tail accuracy, reuse just clears the observations.
+func armSketch(s *stats.Sketch) {
+	if s.Alpha == 0 {
+		s.Init(stats.DefaultSketchAlpha)
+	} else {
+		s.Reset()
+	}
+}
+
+// observe records one served query's latency into its observation
+// window — the exact sample buffer, or the window's quantile sketch
+// (in milliseconds, the unit every tail threshold uses) on the sketch
+// path.
+func (w *shardWork) observe(wi int, latS float64) {
+	if w.useSketch {
+		w.winSk[wi].Add(latS * 1e3)
+		return
+	}
+	w.winLatS[wi] = append(w.winLatS[wi], latS)
+}
+
+// traceServed emits the service-side events of one sampled query:
+// enqueue (queue wait), start (with batch size), end (service span)
+// and complete (total latency).
+func (w *shardWork) traceServed(qid int64, instID int, arrS, startS, doneS float64, batch int) {
+	ev := w.trace.Emit(telemetry.KindEnqueue, qid, startS)
+	ev.Instance = int32(instID)
+	ev.Value = startS - arrS
+	ev = w.trace.Emit(telemetry.KindStart, qid, startS)
+	ev.Instance = int32(instID)
+	ev.Value = float64(batch)
+	ev = w.trace.Emit(telemetry.KindEnd, qid, doneS)
+	ev.Instance = int32(instID)
+	ev.Value = doneS - startS
+	ev = w.trace.Emit(telemetry.KindComplete, qid, doneS)
+	ev.Instance = int32(instID)
+	ev.Value = doneS - arrS
 }
 
 func (w *shardWork) run() {
@@ -691,21 +788,54 @@ func (w *shardWork) run() {
 		w.runBatched(router, rng)
 		return
 	}
+	trouter, _ := router.(TracedRouter)
 	for _, q := range w.queries {
 		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		sampled := w.traceOn && w.trace.Sampled(q.ID)
+		if sampled {
+			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
+			ev.Value = float64(q.Size)
+			ev.Aux = q.SparseScale
+		}
 		if len(w.insts) == 0 {
 			w.dropped++
 			w.winDrops[wi]++
+			if sampled {
+				w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
+			}
 			continue
 		}
-		pick := router.Pick(w.insts, q.ArrivalS, rng)
-		done, drop := w.insts[pick].Arrive(q.ArrivalS, q.Size, q.SparseScale)
+		var pick int
+		if sampled {
+			ev := w.trace.Emit(telemetry.KindRoute, q.ID, q.ArrivalS)
+			if trouter != nil {
+				pick = trouter.PickTraced(w.insts, q.ArrivalS, rng, ev)
+			} else {
+				pick = router.Pick(w.insts, q.ArrivalS, rng)
+			}
+			ev.Instance = int32(w.insts[pick].ID)
+			if trouter == nil {
+				ev.Cand[0] = ev.Instance
+				ev.NCand = 1
+			}
+		} else {
+			pick = router.Pick(w.insts, q.ArrivalS, rng)
+		}
+		in := w.insts[pick]
+		start, done, drop := in.arrive(q.ArrivalS, q.Size, q.SparseScale)
 		if drop {
 			w.dropped++
 			w.winDrops[wi]++
+			if sampled {
+				ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
+				ev.Instance = int32(in.ID)
+			}
 			continue
 		}
-		w.winLatS[wi] = append(w.winLatS[wi], done-q.ArrivalS)
+		if sampled {
+			w.traceServed(q.ID, in.ID, q.ArrivalS, start, done, 1)
+		}
+		w.observe(wi, done-q.ArrivalS)
 	}
 }
 
@@ -722,31 +852,80 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 		// forming batch plus a full-batch dispatch including itself.
 		w.comps = make([]Completion, 0, 2*w.maxBatch)
 	}
+	trouter, _ := router.(TracedRouter)
 	for _, q := range w.queries {
 		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		sampled := w.traceOn && w.trace.Sampled(q.ID)
+		if sampled {
+			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
+			ev.Value = float64(q.Size)
+			ev.Aux = q.SparseScale
+		}
 		if len(w.insts) == 0 {
 			w.dropped++
 			w.winDrops[wi]++
+			if sampled {
+				w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
+			}
 			continue
 		}
-		in := w.insts[router.Pick(w.insts, q.ArrivalS, rng)]
+		var pick int
+		if sampled {
+			ev := w.trace.Emit(telemetry.KindRoute, q.ID, q.ArrivalS)
+			if trouter != nil {
+				pick = trouter.PickTraced(w.insts, q.ArrivalS, rng, ev)
+			} else {
+				pick = router.Pick(w.insts, q.ArrivalS, rng)
+			}
+			ev.Instance = int32(w.insts[pick].ID)
+			if trouter == nil {
+				ev.Cand[0] = ev.Instance
+				ev.NCand = 1
+			}
+		} else {
+			pick = router.Pick(w.insts, q.ArrivalS, rng)
+		}
+		in := w.insts[pick]
 		if in.MaxBatch <= 1 {
-			done, drop := in.Arrive(q.ArrivalS, q.Size, q.SparseScale)
+			start, done, drop := in.arrive(q.ArrivalS, q.Size, q.SparseScale)
 			if drop {
 				w.dropped++
 				w.winDrops[wi]++
+				if sampled {
+					ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
+					ev.Instance = int32(in.ID)
+				}
 				continue
 			}
-			w.winLatS[wi] = append(w.winLatS[wi], done-q.ArrivalS)
+			if sampled {
+				w.traceServed(q.ID, in.ID, q.ArrivalS, start, done, 1)
+			}
+			w.observe(wi, done-q.ArrivalS)
 			continue
 		}
-		comps, drop := in.ArriveBatched(q.ArrivalS, q.Size, q.SparseScale, w.comps[:0])
+		comps, drop := in.ArriveBatched(q.ID, q.ArrivalS, q.Size, q.SparseScale, w.comps[:0])
 		w.comps = comps[:0]
 		if drop {
 			w.dropped++
 			w.winDrops[wi]++
+			if sampled {
+				ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
+				ev.Instance = int32(in.ID)
+			}
+		} else if sampled {
+			// The query joined a forming batch (its Start/End events
+			// surface with the dispatch's completions); record its
+			// 1-based position — a full batch dispatched immediately, so
+			// an empty forming batch means it rode out at MaxBatch.
+			pos := in.Pending()
+			if pos == 0 {
+				pos = in.MaxBatch
+			}
+			ev := w.trace.Emit(telemetry.KindBatch, q.ID, q.ArrivalS)
+			ev.Instance = int32(in.ID)
+			ev.Value = float64(pos)
 		}
-		w.record(comps)
+		w.record(in.ID, comps)
 	}
 	for _, in := range w.insts {
 		if in.MaxBatch <= 1 {
@@ -754,16 +933,20 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 		}
 		comps := in.FlushPending(w.comps[:0])
 		w.comps = comps[:0]
-		w.record(comps)
+		w.record(in.ID, comps)
 	}
 }
 
 // record buckets a dispatch's completions into observation windows by
-// arrival instant.
-func (w *shardWork) record(comps []Completion) {
+// arrival instant, and emits the deferred service events of sampled
+// members (all completions in one drain come from the same instance).
+func (w *shardWork) record(instID int, comps []Completion) {
 	for _, c := range comps {
 		wi := stats.ClampInt(int(c.ArrivalS/w.windowW), 0, w.windows-1)
-		w.winLatS[wi] = append(w.winLatS[wi], c.DoneS-c.ArrivalS)
+		w.observe(wi, c.DoneS-c.ArrivalS)
+		if w.traceOn && w.trace.Sampled(c.ID) {
+			w.traceServed(c.ID, instID, c.ArrivalS, c.StartS, c.DoneS, c.Batch)
+		}
 	}
 }
 
@@ -810,6 +993,8 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	if shardCap <= 0 {
 		shardCap = runtime.NumCPU()
 	}
+	tr := e.Tracer
+	useSketch := e.Opts.SketchTails
 	scr := &e.scratch
 	scr.used = 0
 	scr.tasks = scr.tasks[:0]
@@ -817,11 +1002,12 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	for mi, m := range names {
 		pool := insts[m]
 		sla := e.models[m].SLATargetMS
+		mh := hashString(m)
 		n := max(min(shardCap, len(pool)), 1)
 		starts[mi] = len(scr.tasks)
 		for s := 0; s < n; s++ {
 			sh := scr.shard()
-			sh.reset(windows)
+			sh.reset(windows, useSketch)
 			sh.modelName = m
 			sh.slaMS = sla
 			sh.newRouter = e.newRouter
@@ -829,6 +1015,10 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			sh.windowW = windowW
 			sh.sliceS = sliceS
 			sh.maxBatch = max(e.Opts.MaxBatch, 1)
+			if tr != nil {
+				sh.trace.Arm(tr, idx, m, mh)
+				sh.traceOn = true
+			}
 			scr.tasks = append(scr.tasks, sh)
 		}
 		shards := scr.tasks[starts[mi]:]
@@ -863,16 +1053,34 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		if frac > 0 {
 			// Admission control drops a deterministic Bernoulli thinning
 			// of the stream (in place); shed queries never reach a router.
+			// Sampled shed queries trace here — arrival plus shed, staged
+			// per model and ingested ahead of the shard events (all on the
+			// replay goroutine, so the order is deterministic).
+			var shedBuf *telemetry.ShardBuf
+			if tr != nil {
+				scr.shedBuf.Arm(tr, idx, m, mh)
+				shedBuf = &scr.shedBuf
+			}
 			shedR := stats.NewRand(mixSeed(e.Opts.Seed, 0x5ed0+int64(idx), int64(mi)))
 			kept := queries[:0]
 			for _, q := range queries {
 				if shedR.Float64() < frac {
 					ist.Shed++
+					if shedBuf != nil && shedBuf.Sampled(q.ID) {
+						ev := shedBuf.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
+						ev.Value = float64(q.Size)
+						ev.Aux = q.SparseScale
+						ev = shedBuf.Emit(telemetry.KindShed, q.ID, q.ArrivalS)
+						ev.Value = frac
+					}
 					continue
 				}
 				kept = append(kept, q)
 			}
 			queries = kept
+			if shedBuf != nil {
+				tr.Ingest(shedBuf.Events())
+			}
 		}
 		split := stats.NewRand(mixSeed(e.Opts.Seed, 0x517+int64(idx), int64(mi)))
 		for _, q := range queries {
@@ -899,6 +1107,17 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		scr.wg.Wait()
 	}
 
+	// Drain staged trace events in deterministic task order — the same
+	// order sequential execution produced them in — and flush the
+	// interval to the sinks, so exports stream per interval instead of
+	// accumulating a day.
+	if tr != nil {
+		for _, t := range scr.tasks {
+			tr.Ingest(t.trace.Events())
+		}
+		tr.Flush()
+	}
+
 	// Merge: per-model windowed tails drive breach verdicts; the
 	// aggregate distribution drives the interval percentiles. Latencies
 	// flow through reused flat buffers — window, model, interval — each
@@ -920,48 +1139,92 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	for i := range breached {
 		breached[i] = false
 	}
-	allBuf := scr.allBuf[:0]
-	for mi, m := range names {
-		shards := scr.tasks[starts[mi]:starts[mi+1]]
-		sla := e.models[m].SLATargetMS
-		mBuf := scr.modelBuf[:0]
-		for w := 0; w < windows; w++ {
-			winBuf := scr.winBuf[:0]
-			drops := 0
-			for _, sh := range shards {
-				for _, l := range sh.winLatS[w] {
-					winBuf = append(winBuf, l*1e3)
+	if useSketch {
+		// Sketch path: per-window shard sketches merge (bucket-wise,
+		// order-independent — parallel keeps byte identity) into a
+		// window sketch for the breach verdict, fold into the model
+		// sketch for per-model tails, and the model sketches fold into
+		// the interval sketch. No latency sample is ever buffered.
+		armSketch(&scr.allSk)
+		for mi, m := range names {
+			shards := scr.tasks[starts[mi]:starts[mi+1]]
+			sla := e.models[m].SLATargetMS
+			armSketch(&scr.modelSk)
+			for w := 0; w < windows; w++ {
+				armSketch(&scr.winSk)
+				drops := 0
+				for _, sh := range shards {
+					scr.winSk.Merge(&sh.winSk[w])
+					drops += sh.winDrops[w]
 				}
-				drops += sh.winDrops[w]
+				if drops > 0 || (scr.winSk.Count() > 0 && scr.winSk.Quantile(tailPct) > sla*slaFactor) {
+					breached[w] = true
+				}
+				scr.modelSk.Merge(&scr.winSk)
 			}
-			mBuf = append(mBuf, winBuf...)
-			if drops > 0 || (len(winBuf) > 0 && stats.PercentileSelect(winBuf, tailPct) > sla*slaFactor) {
-				breached[w] = true
+			mQueries, mDrops := 0, 0
+			for _, sh := range shards {
+				mQueries += len(sh.queries)
+				mDrops += sh.dropped
 			}
-			scr.winBuf = winBuf[:0]
+			ist.Queries += mQueries
+			ist.Drops += mDrops
+			ist.ModelP95MS[m] = scr.modelSk.Quantile(95)
+			ist.ModelP99MS[m] = scr.modelSk.Quantile(99)
+			obs := modelObs{p99MS: ist.ModelP99MS[m]}
+			if mQueries > 0 {
+				obs.dropFrac = float64(mDrops) / float64(mQueries)
+			}
+			e.prevObs[m] = obs
+			scr.allSk.Merge(&scr.modelSk)
 		}
-		mQueries, mDrops := 0, 0
-		for _, sh := range shards {
-			mQueries += len(sh.queries)
-			mDrops += sh.dropped
+		ist.P50MS = scr.allSk.Quantile(50)
+		ist.P95MS = scr.allSk.Quantile(95)
+		ist.P99MS = scr.allSk.Quantile(99)
+	} else {
+		allBuf := scr.allBuf[:0]
+		for mi, m := range names {
+			shards := scr.tasks[starts[mi]:starts[mi+1]]
+			sla := e.models[m].SLATargetMS
+			mBuf := scr.modelBuf[:0]
+			for w := 0; w < windows; w++ {
+				winBuf := scr.winBuf[:0]
+				drops := 0
+				for _, sh := range shards {
+					for _, l := range sh.winLatS[w] {
+						winBuf = append(winBuf, l*1e3)
+					}
+					drops += sh.winDrops[w]
+				}
+				mBuf = append(mBuf, winBuf...)
+				if drops > 0 || (len(winBuf) > 0 && stats.PercentileSelect(winBuf, tailPct) > sla*slaFactor) {
+					breached[w] = true
+				}
+				scr.winBuf = winBuf[:0]
+			}
+			mQueries, mDrops := 0, 0
+			for _, sh := range shards {
+				mQueries += len(sh.queries)
+				mDrops += sh.dropped
+			}
+			ist.Queries += mQueries
+			ist.Drops += mDrops
+			allBuf = append(allBuf, mBuf...)
+			ist.ModelP95MS[m] = stats.PercentileSelect(mBuf, 95)
+			ist.ModelP99MS[m] = stats.PercentileSelect(mBuf, 99)
+			// Record what admission policies may condition on next interval.
+			obs := modelObs{p99MS: ist.ModelP99MS[m]}
+			if mQueries > 0 {
+				obs.dropFrac = float64(mDrops) / float64(mQueries)
+			}
+			e.prevObs[m] = obs
+			scr.modelBuf = mBuf[:0]
 		}
-		ist.Queries += mQueries
-		ist.Drops += mDrops
-		allBuf = append(allBuf, mBuf...)
-		ist.ModelP95MS[m] = stats.PercentileSelect(mBuf, 95)
-		ist.ModelP99MS[m] = stats.PercentileSelect(mBuf, 99)
-		// Record what admission policies may condition on next interval.
-		obs := modelObs{p99MS: ist.ModelP99MS[m]}
-		if mQueries > 0 {
-			obs.dropFrac = float64(mDrops) / float64(mQueries)
-		}
-		e.prevObs[m] = obs
-		scr.modelBuf = mBuf[:0]
+		ist.P50MS = stats.PercentileSelect(allBuf, 50)
+		ist.P95MS = stats.PercentileSelect(allBuf, 95)
+		ist.P99MS = stats.PercentileSelect(allBuf, 99)
+		scr.allBuf = allBuf[:0]
 	}
-	ist.P50MS = stats.PercentileSelect(allBuf, 50)
-	ist.P95MS = stats.PercentileSelect(allBuf, 95)
-	ist.P99MS = stats.PercentileSelect(allBuf, 99)
-	scr.allBuf = allBuf[:0]
 	for _, b := range breached {
 		if b {
 			ist.WindowsBreached++
@@ -1044,7 +1307,7 @@ func ReplaySlice(routerName string, insts []*Instance, queries []workload.Query,
 			continue
 		}
 		var drop bool
-		comps, drop = in.ArriveBatched(q.ArrivalS, q.Size, q.SparseScale, comps[:0])
+		comps, drop = in.ArriveBatched(q.ID, q.ArrivalS, q.Size, q.SparseScale, comps[:0])
 		if drop {
 			res.Dropped++
 		} else {

@@ -416,7 +416,7 @@ func TestBatchingCoalesces(t *testing.T) {
 	var out []Completion
 	for i := 0; i < 4; i++ {
 		var drop bool
-		out, drop = in.ArriveBatched(0, 100, 1, out)
+		out, drop = in.ArriveBatched(int64(i)+1, 0, 100, 1, out)
 		if drop {
 			t.Fatalf("arrival %d dropped", i)
 		}
@@ -437,12 +437,12 @@ func TestBatchingCoalesces(t *testing.T) {
 	// 0.75 * 20ms = 15 ms -> done at 0.020).
 	in = mk()
 	out = out[:0]
-	out, _ = in.ArriveBatched(0, 100, 1, out)
-	out, _ = in.ArriveBatched(0.001, 100, 1, out)
+	out, _ = in.ArriveBatched(1, 0, 100, 1, out)
+	out, _ = in.ArriveBatched(2, 0.001, 100, 1, out)
 	if len(out) != 0 {
 		t.Fatalf("forming batch must not emit completions, got %d", len(out))
 	}
-	out, _ = in.ArriveBatched(0.1, 100, 1, out)
+	out, _ = in.ArriveBatched(3, 0.1, 100, 1, out)
 	if len(out) != 2 {
 		t.Fatalf("window expiry must flush the pair, got %d completions", len(out))
 	}
@@ -468,7 +468,7 @@ func TestOutstandingFlushesDueBatches(t *testing.T) {
 		func(int, float64) float64 { return 0.010 })
 	in.EnableBatching(4, 0.002, nil)
 	in.Reset()
-	if _, drop := in.ArriveBatched(0, 100, 1, nil); drop {
+	if _, drop := in.ArriveBatched(1, 0, 100, 1, nil); drop {
 		t.Fatal("query dropped")
 	}
 	// Before the window expires the member is pending.
@@ -505,7 +505,7 @@ func TestBatchedCapacityRule(t *testing.T) {
 	admitted, dropped := 0, 0
 	for i := 0; i < 10; i++ {
 		var drop bool
-		out, drop = in.ArriveBatched(0, 100, 1, out[:0])
+		out, drop = in.ArriveBatched(int64(i)+1, 0, 100, 1, out[:0])
 		if drop {
 			dropped++
 		} else {

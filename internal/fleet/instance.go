@@ -65,9 +65,10 @@ type Instance struct {
 	// utilization (and hence its energy). +Inf disables clipping.
 	horizon float64
 
-	// Forming batch: member arrival instants and solo service times,
-	// preallocated to MaxBatch by EnableBatching. pendOpen is the oldest
-	// member's arrival (the wait window opens there).
+	// Forming batch: member IDs, arrival instants and solo service
+	// times, preallocated to MaxBatch by EnableBatching. pendOpen is the
+	// oldest member's arrival (the wait window opens there).
+	pendID   []int64
 	pendArr  []float64
 	pendSvc  []float64
 	pendOpen float64
@@ -81,13 +82,20 @@ type Instance struct {
 	Served, Dropped int
 }
 
-// Completion records one batched query's arrival and completion
-// instants. The batched replay emits completions when a batch
-// dispatches — possibly several queries at once, possibly none for a
-// given arrival — instead of returning a completion per Arrive.
+// Completion records one batched query's full service timeline: its
+// identity, arrival, the batch's dispatch instant and size, and the
+// completion instant. The batched replay emits completions when a
+// batch dispatches — possibly several queries at once, possibly none
+// for a given arrival — instead of returning a completion per Arrive;
+// ID and StartS exist so the tracer can reconstruct per-query enqueue,
+// service-start and service-end events at that deferred point.
 type Completion struct {
+	ID       int64
 	ArrivalS float64
+	StartS   float64
 	DoneS    float64
+	// Batch is the size of the dispatch this query rode in.
+	Batch int
 }
 
 // NewInstance builds an unbatched instance with the given service-time
@@ -126,6 +134,7 @@ func (in *Instance) EnableBatching(maxBatch int, waitS float64, eff []float64) {
 	in.MaxBatch = maxBatch
 	in.BatchWaitS = math.Max(waitS, 0)
 	in.batchEff = eff
+	in.pendID = make([]int64, 0, maxBatch)
 	in.pendArr = make([]float64, 0, maxBatch)
 	in.pendSvc = make([]float64, 0, maxBatch)
 	in.emitted = make([]Completion, 0, maxBatch)
@@ -165,6 +174,7 @@ func (in *Instance) ResetSlice(horizonS float64) {
 	}
 	in.comps = in.comps[:0]
 	in.busyS = 0
+	in.pendID = in.pendID[:0]
 	in.pendArr = in.pendArr[:0]
 	in.pendSvc = in.pendSvc[:0]
 	in.emitted = in.emitted[:0]
@@ -224,14 +234,23 @@ func (in *Instance) addBusy(start, done float64) {
 // when the bounded queue rejects it. This is the unbatched path
 // (MaxBatch 1); batching engines call ArriveBatched instead.
 func (in *Instance) Arrive(now float64, size int, scale float64) (doneAt float64, dropped bool) {
+	_, doneAt, dropped = in.arrive(now, size, scale)
+	return doneAt, dropped
+}
+
+// arrive is Arrive's core, additionally exposing the service start
+// instant (what separates queue wait from service span) so the traced
+// replay can emit enqueue/start/end events without re-deriving queue
+// state.
+func (in *Instance) arrive(now float64, size int, scale float64) (startAt, doneAt float64, dropped bool) {
 	if in.Outstanding(now) >= in.Concurrency+in.QueueCap {
 		in.Dropped++
-		return 0, true
+		return 0, 0, true
 	}
 	s := in.svc(size, scale)
 	if math.IsInf(s, 0) || s <= 0 {
 		in.Dropped++
-		return 0, true
+		return 0, 0, true
 	}
 	// Earliest-free channel, non-preemptive FCFS: the heap root is the
 	// channel that frees first. Which tied channel wins is irrelevant —
@@ -247,20 +266,21 @@ func (in *Instance) Arrive(now float64, size int, scale float64) (doneAt float64
 	in.comps = append(in.comps, done)
 	siftUp(in.comps, len(in.comps)-1)
 	in.Served++
-	return done, false
+	return start, done, false
 }
 
-// ArriveBatched offers one query to a batching instance at time now.
-// A forming batch whose launch instant has passed dispatches first —
-// a batch launches at its wait-window deadline or when the server
-// frees, whichever is later, so batches keep collecting members while
-// the server is busy and the launch instant never depends on when the
-// replay happens to observe it. Then the query joins the forming
-// batch, and a batch that reaches MaxBatch dispatches immediately.
-// Completions emitted by either dispatch are appended to out; the
-// second return reports whether this query was rejected by the bounded
-// queue (max(Concurrency, MaxBatch) in service plus QueueCap waiting).
-func (in *Instance) ArriveBatched(now float64, size int, scale float64, out []Completion) ([]Completion, bool) {
+// ArriveBatched offers one query (identified by id, for the emitted
+// Completions) to a batching instance at time now. A forming batch
+// whose launch instant has passed dispatches first — a batch launches
+// at its wait-window deadline or when the server frees, whichever is
+// later, so batches keep collecting members while the server is busy
+// and the launch instant never depends on when the replay happens to
+// observe it. Then the query joins the forming batch, and a batch that
+// reaches MaxBatch dispatches immediately. Completions emitted by
+// either dispatch are appended to out; the second return reports
+// whether this query was rejected by the bounded queue
+// (max(Concurrency, MaxBatch) in service plus QueueCap waiting).
+func (in *Instance) ArriveBatched(id int64, now float64, size int, scale float64, out []Completion) ([]Completion, bool) {
 	out = in.drainEmitted(out)
 	if len(in.pendArr) > 0 {
 		if launch := math.Max(in.pendOpen+in.BatchWaitS, in.free[0]); launch <= now {
@@ -279,6 +299,7 @@ func (in *Instance) ArriveBatched(now float64, size int, scale float64, out []Co
 	if len(in.pendArr) == 0 {
 		in.pendOpen = now
 	}
+	in.pendID = append(in.pendID, id)
 	in.pendArr = append(in.pendArr, now)
 	in.pendSvc = append(in.pendSvc, s)
 	if len(in.pendArr) >= in.MaxBatch {
@@ -286,6 +307,9 @@ func (in *Instance) ArriveBatched(now float64, size int, scale float64, out []Co
 	}
 	return out, false
 }
+
+// Pending returns the size of the forming (not yet dispatched) batch.
+func (in *Instance) Pending() int { return len(in.pendArr) }
 
 // FlushPending drains buffered completions and dispatches the forming
 // batch, if any, at its scheduled launch instant — the end-of-slice
@@ -352,12 +376,13 @@ func (in *Instance) dispatchPending(at float64, out []Completion) []Completion {
 	if clip > start {
 		in.busyS += float64(k) * (clip - start)
 	}
-	for _, arr := range in.pendArr {
+	for i, arr := range in.pendArr {
 		in.comps = append(in.comps, done)
 		siftUp(in.comps, len(in.comps)-1)
-		out = append(out, Completion{ArrivalS: arr, DoneS: done})
+		out = append(out, Completion{ID: in.pendID[i], ArrivalS: arr, StartS: start, DoneS: done, Batch: n})
 	}
 	in.Served += n
+	in.pendID = in.pendID[:0]
 	in.pendArr = in.pendArr[:0]
 	in.pendSvc = in.pendSvc[:0]
 	return out

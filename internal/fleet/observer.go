@@ -1,6 +1,10 @@
 package fleet
 
-import "math"
+import (
+	"math"
+
+	"hercules/internal/telemetry"
+)
 
 // Observer receives each interval's finalized IntervalStats as the
 // replay produces them — the streaming counterpart of DayResult, which
@@ -18,6 +22,41 @@ type ObserverFunc func(ist IntervalStats)
 
 // ObserveInterval implements Observer.
 func (f ObserverFunc) ObserveInterval(ist IntervalStats) { f(ist) }
+
+// NewMetricsObserver folds the interval stream into a telemetry
+// metrics registry: counters for cumulative totals (queries, drops,
+// shed, breached windows), gauges for the latest control-plane state
+// (offered load, fleet size, provisioned power), and sketch-backed
+// histograms over the per-interval tail latencies — the
+// metrics-snapshot face of the same stream the NDJSON observer and the
+// DayResult aggregation consume. Handles are resolved once here, so
+// the per-interval update never touches the registry's maps.
+func NewMetricsObserver(reg *telemetry.Registry) Observer {
+	intervals := reg.Counter("fleet_intervals_total")
+	queries := reg.Counter("fleet_queries_total")
+	drops := reg.Counter("fleet_drops_total")
+	shed := reg.Counter("fleet_shed_total")
+	breached := reg.Counter("fleet_windows_breached_total")
+	offered := reg.Gauge("fleet_offered_qps")
+	servers := reg.Gauge("fleet_active_servers")
+	kw := reg.Gauge("fleet_provisioned_kw")
+	p50 := reg.Histogram("fleet_interval_p50_ms")
+	p95 := reg.Histogram("fleet_interval_p95_ms")
+	p99 := reg.Histogram("fleet_interval_p99_ms")
+	return ObserverFunc(func(ist IntervalStats) {
+		intervals.Inc()
+		queries.Add(int64(ist.Queries))
+		drops.Add(int64(ist.Drops))
+		shed.Add(int64(ist.Shed))
+		breached.Add(int64(ist.WindowsBreached))
+		offered.Set(ist.OfferedQPS)
+		servers.Set(float64(ist.ActiveServers))
+		kw.Set(ist.ProvisionedKW)
+		p50.Observe(ist.P50MS)
+		p95.Observe(ist.P95MS)
+		p99.Observe(ist.P99MS)
+	})
+}
 
 // dayAggregator folds the per-interval stream into a DayResult: the
 // internal observer RunDay installs ahead of any caller-registered

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hercules/internal/cluster"
+	"hercules/internal/telemetry"
+)
+
+// Observer contract tests: the engine delivers every interval to every
+// registered observer, synchronously, in registration order, from the
+// replay goroutine — so N observers see byte-identical ordered streams
+// and none of them needs its own locking against the engine. The suite
+// runs under -race in CI, which is what makes the "single delivering
+// goroutine" claim checkable rather than aspirational.
+
+func observerWorkloads() []cluster.Workload {
+	return []cluster.Workload{{
+		Model: "DLRM-RMC1",
+		Trace: stepTrace(400, 900, 1400, 900),
+	}}
+}
+
+// TestObserversSeeIdenticalStreams: every registered observer receives
+// the same intervals in the same order, and within one interval the
+// observers fire in registration order.
+func TestObserversSeeIdenticalStreams(t *testing.T) {
+	const n = 4
+	streams := make([][]IntervalStats, n)
+	order := make([]int, 0, n*8)
+	e := testEngine(PowerOfTwo, testOpts())
+	for i := 0; i < n; i++ {
+		i := i
+		e.Observers = append(e.Observers, ObserverFunc(func(ist IntervalStats) {
+			streams[i] = append(streams[i], ist)
+			order = append(order, i)
+		}))
+	}
+	res, err := e.RunDay(observerWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(streams[i], streams[0]) {
+			t.Fatalf("observer %d saw a different stream than observer 0", i)
+		}
+	}
+	if !reflect.DeepEqual(streams[0], res.Steps) {
+		t.Fatal("observer stream must equal DayResult.Steps")
+	}
+	// Registration order within each interval: 0,1,2,3 repeating.
+	for k, id := range order {
+		if id != k%n {
+			t.Fatalf("delivery order broke at call %d: observer %d fired, want %d", k, id, k%n)
+		}
+	}
+}
+
+// TestObserverDeliveryIsSynchronous documents the contract that
+// observers run on the replay goroutine, blocking it: an observer that
+// sleeps must stall the interval loop, so no later interval can be
+// delivered while an earlier delivery is still in flight. The inFlight
+// counter would trip (and -race would flag the unsynchronized appends)
+// if the engine ever moved delivery onto concurrent goroutines.
+func TestObserverDeliveryIsSynchronous(t *testing.T) {
+	var inFlight atomic.Int32
+	var seen []int32
+	e := testEngine(PowerOfTwo, testOpts())
+	e.Observers = append(e.Observers, ObserverFunc(func(ist IntervalStats) {
+		if c := inFlight.Add(1); c != 1 {
+			t.Errorf("interval %d delivered while %d deliveries in flight", ist.Index, c-1)
+		}
+		time.Sleep(2 * time.Millisecond) // widen the race window
+		seen = append(seen, int32(ist.Index))
+		inFlight.Add(-1)
+	}))
+	if _, err := e.RunDay(observerWorkloads()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("intervals delivered out of order: %v", seen)
+		}
+	}
+}
+
+// TestMetricsObserverSnapshot: the registry-backed observer folds the
+// interval stream into counters/gauges/histograms that agree with the
+// DayResult computed from the same stream.
+func TestMetricsObserverSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := testEngine(PowerOfTwo, testOpts())
+	e.Observers = append(e.Observers, NewMetricsObserver(reg))
+	res, err := e.RunDay(observerWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["fleet_intervals_total"]; got != int64(len(res.Steps)) {
+		t.Errorf("intervals counter = %d, want %d", got, len(res.Steps))
+	}
+	if got := snap.Counters["fleet_queries_total"]; got != int64(res.TotalQueries) {
+		t.Errorf("queries counter = %d, want %d", got, res.TotalQueries)
+	}
+	if got := snap.Counters["fleet_drops_total"]; got != int64(res.TotalDrops) {
+		t.Errorf("drops counter = %d, want %d", got, res.TotalDrops)
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if got := snap.Gauges["fleet_active_servers"]; got != float64(last.ActiveServers) {
+		t.Errorf("servers gauge = %v, want %v (last interval)", got, last.ActiveServers)
+	}
+	h, ok := snap.Histograms["fleet_interval_p95_ms"]
+	if !ok || h.Count != len(res.Steps) {
+		t.Errorf("p95 histogram count = %d, want %d", h.Count, len(res.Steps))
+	}
+	if h.Max < res.MaxP95MS*0.99 || h.Max > res.MaxP95MS*1.01 {
+		t.Errorf("p95 histogram max %v, want ~%v", h.Max, res.MaxP95MS)
+	}
+}

@@ -3,6 +3,8 @@ package fleet
 import (
 	"math/rand"
 	"strings"
+
+	"hercules/internal/telemetry"
 )
 
 // Names of the built-in routing policies. A router is selected by its
@@ -80,6 +82,38 @@ type Router interface {
 	Pick(insts []*Instance, now float64, rng *rand.Rand) int
 }
 
+// TracedRouter is the optional tracing extension of Router: PickTraced
+// must choose exactly the instance Pick would — same RNG draws, same
+// state reads in the same order, same cursor advances — while filling
+// the route event's candidate fields (Cand, NCand). The engine calls
+// it only for queries in the trace sample, so recording costs nothing
+// on the untraced path; routers that do not implement it still trace,
+// with only the chosen instance recorded as a candidate.
+//
+// All four built-in routers implement TracedRouter. The byte-identity
+// guarantee (traced replay == untraced replay, parallel == sequential)
+// rests on the "identical decision" contract, which
+// TestTracedRoutersMatchUntraced pins per router.
+type TracedRouter interface {
+	Router
+	// PickTraced is Pick plus candidate recording into ev.
+	PickTraced(insts []*Instance, now float64, rng *rand.Rand, ev *telemetry.Event) int
+}
+
+// recordScan fills a route event's candidate fields for a full-scan
+// router: the first MaxCandidates instance IDs, with NCand reporting
+// the total considered (saturating at 255).
+func recordScan(insts []*Instance, ev *telemetry.Event) {
+	n := len(insts)
+	for j := 0; j < n && j < telemetry.MaxCandidates; j++ {
+		ev.Cand[j] = int32(insts[j].ID)
+	}
+	if n > 255 {
+		n = 255
+	}
+	ev.NCand = uint8(n)
+}
+
 type roundRobin struct{ next int }
 
 func (r *roundRobin) Name() string { return RoundRobin }
@@ -87,6 +121,15 @@ func (r *roundRobin) Name() string { return RoundRobin }
 func (r *roundRobin) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	i := r.next % len(insts)
 	r.next++
+	return i
+}
+
+// PickTraced implements TracedRouter: round robin considers exactly
+// the instance the cursor lands on.
+func (r *roundRobin) PickTraced(insts []*Instance, now float64, rng *rand.Rand, ev *telemetry.Event) int {
+	i := r.Pick(insts, now, rng)
+	ev.Cand[0] = int32(insts[i].ID)
+	ev.NCand = 1
 	return i
 }
 
@@ -102,6 +145,15 @@ func (leastOutstanding) Pick(insts []*Instance, now float64, rng *rand.Rand) int
 		}
 	}
 	return best
+}
+
+// PickTraced implements TracedRouter. Candidate recording reads only
+// instance IDs, so the Outstanding scan below happens exactly as in
+// Pick (Outstanding can launch a due batch — the inspection order is
+// part of the replay's determinism contract).
+func (r leastOutstanding) PickTraced(insts []*Instance, now float64, rng *rand.Rand, ev *telemetry.Event) int {
+	recordScan(insts, ev)
+	return r.Pick(insts, now, rng)
 }
 
 type powerOfTwo struct{}
@@ -124,6 +176,31 @@ func (powerOfTwo) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 	return i
 }
 
+// PickTraced implements TracedRouter: the same two RNG draws and the
+// same Outstanding inspection order (j before i, matching Pick's
+// left-to-right comparison) as the untraced decision, with both
+// sampled candidates recorded.
+func (powerOfTwo) PickTraced(insts []*Instance, now float64, rng *rand.Rand, ev *telemetry.Event) int {
+	n := len(insts)
+	if n == 1 {
+		ev.Cand[0] = int32(insts[0].ID)
+		ev.NCand = 1
+		return 0
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	ev.Cand[0] = int32(insts[i].ID)
+	ev.Cand[1] = int32(insts[j].ID)
+	ev.NCand = 2
+	if insts[j].Outstanding(now) < insts[i].Outstanding(now) {
+		return j
+	}
+	return i
+}
+
 type weightedHetero struct{}
 
 func (weightedHetero) Name() string { return WeightedHetero }
@@ -136,6 +213,13 @@ func (weightedHetero) Pick(insts []*Instance, now float64, rng *rand.Rand) int {
 		}
 	}
 	return best
+}
+
+// PickTraced implements TracedRouter (see leastOutstanding.PickTraced
+// for the inspection-order caveat).
+func (r weightedHetero) PickTraced(insts []*Instance, now float64, rng *rand.Rand, ev *telemetry.Event) int {
+	recordScan(insts, ev)
+	return r.Pick(insts, now, rng)
 }
 
 // heteroLoad is the capacity-normalized congestion of an instance: how

@@ -8,6 +8,7 @@ import (
 	"hercules/internal/model"
 	"hercules/internal/profiler"
 	"hercules/internal/scenario"
+	"hercules/internal/telemetry"
 	"hercules/internal/workload"
 )
 
@@ -125,6 +126,7 @@ type engineConfig struct {
 	admission    Admission
 	admissionSet bool
 	observers    []Observer
+	tracer       *telemetry.Tracer
 }
 
 // WithFleet overrides the spec's named fleet with an explicit one —
@@ -158,6 +160,15 @@ func WithAdmission(a Admission) Option {
 // engine; repeat for several sinks.
 func WithObserver(o Observer) Option {
 	return func(c *engineConfig) { c.observers = append(c.observers, o) }
+}
+
+// WithTracer installs a pre-configured per-query tracer (its SampleN
+// takes precedence over Spec.Options.TraceSample); without it,
+// NewEngine creates a sink-less tracer whenever Options.TraceSample
+// > 0 — callers attach export sinks via Engine.Tracer.AddSink before
+// RunDay and Close it after the run.
+func WithTracer(t *telemetry.Tracer) Option {
+	return func(c *engineConfig) { c.tracer = t }
 }
 
 // NewEngine assembles a replay engine from a serializable Spec plus
@@ -232,7 +243,7 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 
 	prov := cluster.NewProvisioner(fl, table, pol, spec.Options.Seed)
 	prov.OverProvisionR = spec.HeadroomR
-	return &Engine{
+	eng := &Engine{
 		Spec:        spec,
 		Fleet:       fl,
 		Table:       table,
@@ -244,7 +255,13 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 		Scenario:    sc,
 		Observers:   cfg.observers,
 		Opts:        spec.Options,
-	}, nil
+	}
+	if cfg.tracer != nil {
+		eng.Tracer = cfg.tracer
+	} else if spec.Options.TraceSample > 0 {
+		eng.Tracer = telemetry.NewTracer(spec.Options.Seed, spec.Options.TraceSample, 0)
+	}
+	return eng, nil
 }
 
 // specScaler resolves a spec's autoscaler name ("none" disables).

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"hercules/internal/cluster"
+	"hercules/internal/stats"
+	"hercules/internal/telemetry"
+)
+
+// The tracing tests pin the tentpole claims of the telemetry layer:
+// tracing never perturbs the replay (identical DayResult traced vs
+// untraced), the emitted trace is a pure function of the spec (byte
+// identity across sequential and parallel execution at any shard cap
+// whose decomposition coincides), and every traced router makes
+// exactly the decisions its untraced Pick would.
+
+// tracedRun replays goldenTraceWorkloads on a testEngine with the given
+// shard geometry, 1-in-64 sampling, and an NDJSON sink; it returns the
+// trace bytes and the DayResult.
+func tracedRun(t *testing.T, shards int, sequential bool) ([]byte, DayResult) {
+	t.Helper()
+	opts := testOpts()
+	opts.Shards = shards
+	opts.Sequential = sequential
+	opts.TraceSample = 64
+	e := testEngine(PowerOfTwo, opts)
+	var buf bytes.Buffer
+	e.Tracer.AddSink(telemetry.NewNDJSONWriter(&buf))
+	res, err := e.RunDay(goldenTraceWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// goldenTraceWorkloads is a deliberately small day: at 200/400/600
+// QPS the greedy provisioner never allocates more than 4 T2 servers
+// per interval, so Shards=4 and Shards=8 produce identical shard
+// decompositions (n = min(shardCap, pool)) — the strongest trace
+// byte-identity claim available across shard caps.
+func goldenTraceWorkloads() []cluster.Workload {
+	return []cluster.Workload{{
+		Model: "DLRM-RMC1",
+		Trace: stepTrace(200, 400, 600),
+	}}
+}
+
+// TestGoldenTraceByteIdentity: the sampled trace must be byte-for-byte
+// identical across sequential and parallel replays and across shard
+// caps with coinciding decompositions, and must match the committed
+// golden — the proof that trace emission is deterministic, not merely
+// "deterministic up to goroutine scheduling".
+func TestGoldenTraceByteIdentity(t *testing.T) {
+	if os.Getenv("REGEN_GOLDEN_TRACE") != "" {
+		got, _ := tracedRun(t, 4, true)
+		if err := os.WriteFile("testdata/golden_trace.ndjson", got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated golden trace: %d bytes", len(got))
+	}
+	want, err := os.ReadFile("testdata/golden_trace.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name       string
+		shards     int
+		sequential bool
+	}{
+		{"seq-4", 4, true},
+		{"par-4", 4, false},
+		{"par-8", 8, false},
+	} {
+		got, _ := tracedRun(t, cfg.shards, cfg.sequential)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: trace diverged from golden (%d vs %d bytes)",
+				cfg.name, len(got), len(want))
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbReplay: enabling the tracer — even at full
+// sampling — must leave the DayResult bit-identical to the untraced
+// replay. Tracing reads the replay; it never participates in it.
+func TestTracingDoesNotPerturbReplay(t *testing.T) {
+	base := testOpts()
+	base.Shards = 4
+	untraced, err := testEngine(PowerOfTwo, base).RunDay(goldenTraceWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range []int{1, 16} {
+		opts := base
+		opts.TraceSample = sample
+		e := testEngine(PowerOfTwo, opts)
+		sink := &telemetry.CountSink{}
+		e.Tracer.AddSink(sink)
+		traced, err := e.RunDay(goldenTraceWorkloads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(traced, untraced) {
+			t.Errorf("sample 1/%d: tracing changed the DayResult", sample)
+		}
+		if sink.Total == 0 {
+			t.Errorf("sample 1/%d: no events emitted", sample)
+		}
+	}
+}
+
+// TestTracedBatchedReplayDeterministic extends both claims to the
+// dynamic-batching loop: parallel batched trace == sequential batched
+// trace, and the traced batched DayResult equals the untraced one.
+func TestTracedBatchedReplayDeterministic(t *testing.T) {
+	run := func(sequential bool, sample int) ([]byte, DayResult) {
+		opts := testOpts()
+		opts.Shards = 4
+		opts.MaxBatch = 4
+		opts.BatchWaitS = 0.004
+		opts.Sequential = sequential
+		opts.TraceSample = sample
+		e := testEngine(WeightedHetero, opts)
+		e.Service = constBatchSource{}
+		var buf bytes.Buffer
+		if e.Tracer != nil {
+			e.Tracer.AddSink(telemetry.NewNDJSONWriter(&buf))
+		}
+		res, err := e.RunDay(goldenTraceWorkloads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Tracer != nil {
+			if err := e.Tracer.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes(), res
+	}
+	seqTrace, seqRes := run(true, 8)
+	parTrace, parRes := run(false, 8)
+	if !bytes.Equal(seqTrace, parTrace) {
+		t.Error("batched parallel trace diverged from sequential")
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Error("batched parallel DayResult diverged from sequential")
+	}
+	_, untraced := run(false, 0)
+	if !reflect.DeepEqual(parRes, untraced) {
+		t.Error("tracing changed the batched DayResult")
+	}
+}
+
+// TestTracedRoutersMatchUntraced: for every registered router,
+// PickTraced must make the identical decision sequence Pick makes —
+// same picks, same RNG draws, same instance-state evolution — while
+// filling in the routing event. Two mirrored simulations with shared
+// seeds catch any divergence in draw count or Outstanding() order.
+func TestTracedRoutersMatchUntraced(t *testing.T) {
+	for _, kind := range AllRouters {
+		plain, err := NewRouter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracedR, err := NewRouter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, ok := tracedR.(TracedRouter)
+		if !ok {
+			t.Fatalf("%s does not implement TracedRouter", kind)
+		}
+		instsA := constInstances(5, "T2", 0.008, 100, 16)
+		instsB := constInstances(5, "T2", 0.008, 100, 16)
+		rngA := stats.NewRand(99)
+		rngB := stats.NewRand(99)
+		now := 0.0
+		var ev telemetry.Event
+		for i := 0; i < 400; i++ {
+			pa := plain.Pick(instsA, now, rngA)
+			ev = telemetry.Event{}
+			pb := tr.PickTraced(instsB, now, rngB, &ev)
+			if pa != pb {
+				t.Fatalf("%s: decision %d diverged: Pick=%d PickTraced=%d", kind, i, pa, pb)
+			}
+			if ev.NCand == 0 {
+				t.Fatalf("%s: no candidates recorded", kind)
+			}
+			// The chosen instance must be among the recorded candidates
+			// (the engine stamps ev.Instance itself after PickTraced).
+			found := false
+			for c := 0; c < int(ev.NCand) && c < telemetry.MaxCandidates; c++ {
+				if int(ev.Cand[c]) == instsB[pb].ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: picked instance %d not among %d recorded candidates",
+					kind, instsB[pb].ID, ev.NCand)
+			}
+			instsA[pa].Arrive(now, 100, 1)
+			instsB[pb].Arrive(now, 100, 1)
+			now += 0.0007
+		}
+		for i := range instsA {
+			if instsA[i].Served != instsB[i].Served || instsA[i].Dropped != instsB[i].Dropped {
+				t.Fatalf("%s: instance %d state diverged (%d/%d vs %d/%d)", kind, i,
+					instsA[i].Served, instsA[i].Dropped, instsB[i].Served, instsB[i].Dropped)
+			}
+		}
+	}
+}
+
+// TestSketchTailsDeterministicAndClose: the sketch-based tail path
+// must stay deterministic across parallel and sequential replays
+// (bucket-wise merges are order-independent), and its percentiles must
+// track the exact path within the sketch's relative-error bound.
+func TestSketchTailsDeterministicAndClose(t *testing.T) {
+	run := func(sequential, sketch bool) DayResult {
+		opts := testOpts()
+		opts.Shards = 4
+		opts.Sequential = sequential
+		opts.SketchTails = sketch
+		res, err := testEngine(PowerOfTwo, opts).RunDay(goldenWorkloads())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(true, true)
+	par := run(false, true)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("sketch-tails parallel replay diverged from sequential")
+	}
+	exact := run(true, false)
+	if len(seq.Steps) != len(exact.Steps) {
+		t.Fatal("step count diverged")
+	}
+	// DefaultSketchAlpha is 1% relative error; allow 3% to absorb the
+	// rank interpolation difference between PercentileSelect and the
+	// sketch's bucket midpoint.
+	const tol = 0.03
+	for i := range seq.Steps {
+		for _, pair := range [][2]float64{
+			{seq.Steps[i].P95MS, exact.Steps[i].P95MS},
+			{seq.Steps[i].P99MS, exact.Steps[i].P99MS},
+		} {
+			got, want := pair[0], pair[1]
+			if want == 0 {
+				continue
+			}
+			if diff := (got - want) / want; diff > tol || diff < -tol {
+				t.Errorf("interval %d: sketch tail %.4f vs exact %.4f (%.2f%% off)",
+					i, got, want, diff*100)
+			}
+		}
+	}
+	if seq.TotalQueries != exact.TotalQueries || seq.TotalDrops != exact.TotalDrops {
+		t.Error("sketch path changed query accounting")
+	}
+}

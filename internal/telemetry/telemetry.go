@@ -1,0 +1,278 @@
+package telemetry
+
+// Kind identifies one lifecycle point in a traced query's path through
+// the fleet engine.
+type Kind uint8
+
+// The event taxonomy, in pipeline order. A sampled query emits Arrival
+// first, then either Shed (rejected at the front door before any router
+// saw it), or Route (the routing decision, with the candidate set) and
+// from there Enqueue and either Drop (bounded queue full / unservable)
+// or the service path: Batch (joined a forming batch; batched pools
+// only), Start and End (the service span) and Complete (with the
+// arrival-to-completion latency).
+const (
+	KindArrival Kind = iota
+	KindShed
+	KindRoute
+	KindEnqueue
+	KindBatch
+	KindStart
+	KindEnd
+	KindComplete
+	KindDrop
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"arrival", "shed", "route", "enqueue", "batch", "start", "end", "complete", "drop",
+}
+
+// String returns the kind's stable wire name (the "k" field of the
+// NDJSON trace format).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MaxCandidates caps how many routing candidates one Route event
+// records inline. Full-scan routers (least, hetero) consider the whole
+// pool; the event stores the first MaxCandidates instance IDs plus the
+// true total in NCand, keeping the record pointer-free and poolable.
+const MaxCandidates = 8
+
+// Event is one pooled trace record: a flat, pointer-free struct (the
+// model name is an interned string shared with the engine) so ring
+// slots and shard buffers recycle without allocator traffic.
+//
+// Field use by kind — TimeS is always the event's virtual-time instant
+// within the interval's replayed slice:
+//
+//	Arrival   Value = query size (items); Aux = sparse scale
+//	Shed      Value = shed fraction in force
+//	Route     Instance = chosen; Cand[:NCand] = candidate IDs considered
+//	          (first MaxCandidates), NCand = total considered
+//	Enqueue   Instance; Value = queue wait seconds (start − arrival)
+//	Batch     Instance; Value = position in the forming batch (1-based)
+//	Start     Instance; Value = batch size dispatched with (1 unbatched)
+//	End       Instance; Value = service span seconds
+//	Complete  Instance; Value = total latency seconds
+//	Drop      Instance = rejecting instance (−1 for an empty pool)
+type Event struct {
+	Interval int32
+	Kind     Kind
+	NCand    uint8
+	Instance int32
+	Query    int64
+	TimeS    float64
+	Value    float64
+	Aux      float64
+	Model    string
+	Cand     [MaxCandidates]int32
+}
+
+// Sink receives flushed trace events in deterministic order. Writes
+// happen on the replay goroutine (between intervals), so a slow sink
+// slows the replay — file sinks should buffer.
+type Sink interface {
+	// WriteEvents consumes one flushed batch; the slice is only valid
+	// during the call (ring slots are recycled).
+	WriteEvents(evs []Event) error
+	// Close flushes and releases the sink at end of run.
+	Close() error
+}
+
+// Tracer is the deterministically-sampled per-query tracer of the
+// fleet engine. It decides sample membership by a seeded hash of the
+// query's (interval, model, index) identity — a pure function of the
+// query, never of shard layout or scheduling — so sequential and
+// parallel replays sample the same queries and emit byte-identical
+// traces. Events flow from per-shard buffers (ShardBuf, single-writer,
+// no locks) into a fixed ring buffer, and from there to the attached
+// sinks at every interval flush.
+//
+// SampleN is the sampling period: 1 traces every query, 1024 one in
+// 1024. The Tracer itself is driven from the replay goroutine only;
+// ShardBufs are written by shard workers but each is owned by exactly
+// one shard.
+type Tracer struct {
+	// SampleN is the 1-in-N sampling period (min 1).
+	SampleN int
+
+	seed    int64
+	ring    []Event
+	head    int // next write slot
+	size    int // occupied slots
+	dropped uint64
+	written uint64
+	sinks   []Sink
+	err     error
+}
+
+// DefaultRingCap bounds the tracer's in-flight event memory: one
+// interval of sampled events rarely approaches it, and overflow drops
+// the oldest events (counted in Dropped) rather than growing.
+const DefaultRingCap = 1 << 16
+
+// NewTracer returns a tracer with the given sampling seed and period.
+// ringCap <= 0 selects DefaultRingCap.
+func NewTracer(seed int64, sampleN, ringCap int) *Tracer {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Tracer{SampleN: sampleN, seed: seed, ring: make([]Event, ringCap)}
+}
+
+// AddSink attaches an export sink; repeat for several.
+func (t *Tracer) AddSink(s Sink) { t.sinks = append(t.sinks, s) }
+
+// splitmix64 is the avalanche mixer behind the sampling hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// streamSeed derives the per-(interval, model) sampling stream a
+// ShardBuf is armed with.
+func (t *Tracer) streamSeed(interval int, modelHash int64) uint64 {
+	return splitmix64(splitmix64(uint64(t.seed)^uint64(interval)) ^ uint64(modelHash))
+}
+
+// sampledIn reports whether the query with the given per-stream index
+// is traced. Membership is a pure function of (seed, interval, model,
+// index): every replay of the same spec samples the same queries, and
+// no shard layout can change the set.
+func sampledIn(stream uint64, queryID int64, n int) bool {
+	if n <= 1 {
+		return true
+	}
+	return splitmix64(stream^uint64(queryID))%uint64(n) == 0
+}
+
+// Ingest moves one shard buffer's events into the ring. Called on the
+// replay goroutine in deterministic shard order. A full ring drains to
+// the sinks mid-ingest (order-preserving — everything runs on the
+// replay goroutine), so no event is lost as long as a sink is
+// attached; with no sinks the oldest events are overwritten (and
+// counted in Dropped), never the newest — a truncated trace keeps its
+// most recent window.
+func (t *Tracer) Ingest(evs []Event) {
+	for i := range evs {
+		if t.size == len(t.ring) {
+			if len(t.sinks) > 0 {
+				t.Flush()
+			} else {
+				// Overwrite the oldest slot.
+				t.dropped++
+				t.size--
+			}
+		}
+		t.ring[t.head] = evs[i]
+		t.head = (t.head + 1) % len(t.ring)
+		t.size++
+	}
+}
+
+// Flush drains the ring to every sink in FIFO order. The engine calls
+// it once per replayed interval, so sinks see a live stream rather
+// than an end-of-run dump.
+func (t *Tracer) Flush() {
+	if t.size == 0 {
+		return
+	}
+	start := (t.head - t.size + len(t.ring)) % len(t.ring)
+	flushSeg := func(seg []Event) {
+		for _, s := range t.sinks {
+			if err := s.WriteEvents(seg); err != nil && t.err == nil {
+				t.err = err
+			}
+		}
+		t.written += uint64(len(seg))
+	}
+	if start+t.size <= len(t.ring) {
+		flushSeg(t.ring[start : start+t.size])
+	} else {
+		flushSeg(t.ring[start:])
+		flushSeg(t.ring[:t.head])
+	}
+	t.size = 0
+}
+
+// Close flushes the ring and closes every sink, returning the first
+// error any write or close produced.
+func (t *Tracer) Close() error {
+	t.Flush()
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// Dropped returns how many events the ring overwrote before they
+// reached a sink (0 in any healthy run; non-zero means the ring is
+// undersized for the sampling rate).
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Written returns how many events reached the sinks.
+func (t *Tracer) Written() uint64 { return t.written }
+
+// ShardBuf is the per-shard staging buffer: exactly one replay shard
+// appends to it during an interval (no locks, backing array reused
+// across intervals), and the engine drains every shard's buffer into
+// the tracer in deterministic shard order afterwards. Arm binds the
+// buffer to its (interval, model) sampling stream; Sampled answers the
+// per-query membership test in a few arithmetic operations, which is
+// what keeps the sampling-off and unsampled-query cost negligible on
+// the replay hot path.
+type ShardBuf struct {
+	evs      []Event
+	stream   uint64
+	sampleN  int
+	interval int32
+	model    string
+}
+
+// Arm re-binds the buffer for one interval's shard: the sampling
+// stream, the interval tag and the model label stamped on every event.
+func (b *ShardBuf) Arm(t *Tracer, interval int, model string, modelHash int64) {
+	b.evs = b.evs[:0]
+	b.stream = t.streamSeed(interval, modelHash)
+	b.sampleN = t.SampleN
+	b.interval = int32(interval)
+	b.model = model
+}
+
+// Sampled reports whether the query is in the trace sample.
+func (b *ShardBuf) Sampled(queryID int64) bool {
+	return sampledIn(b.stream, queryID, b.sampleN)
+}
+
+// Emit appends one event, stamping the buffer's interval and model.
+// The returned pointer is valid until the next Emit or Arm — callers
+// fill kind-specific fields in place (pooled records, no copies).
+func (b *ShardBuf) Emit(kind Kind, queryID int64, timeS float64) *Event {
+	b.evs = append(b.evs, Event{
+		Interval: b.interval,
+		Kind:     kind,
+		Instance: -1,
+		Query:    queryID,
+		TimeS:    timeS,
+		Model:    b.model,
+	})
+	return &b.evs[len(b.evs)-1]
+}
+
+// Events returns the staged events for draining.
+func (b *ShardBuf) Events() []Event { return b.evs }
+
+// Len returns the number of staged events.
+func (b *ShardBuf) Len() int { return len(b.evs) }
