@@ -11,6 +11,9 @@
 //	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
 //	               [-scaler breach|prop|none] [-admission none|deadline]
 //	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
+//	               [-trace arrivals.ndjson] [-record arrivals.ndjson]
+//	               [-cache-hit 0.8] [-cache-latency 0.3] [-cache-fill 2000]
+//	               [-cache-cold]
 //	               [-days 1] [-step-min 60] [-peak 0] [-headroom 0.15]
 //	               [-queue 32] [-slice 8] [-window 1] [-max-queries 150000]
 //	               [-batch 1] [-batch-wait 2] [-shards 0] [-sequential]
@@ -37,6 +40,17 @@
 // JSON spec file (@events.json), or an inline JSON event array. Every
 // disruption run is paired with a baseline replay of the same router ×
 // policy so the report shows the divergence directly.
+//
+// -record captures the run's arrival stream (every query plus each
+// interval's offered-load metadata) as an NDJSON trace; -trace feeds a
+// recorded file back in, replaying exactly those arrivals instead of
+// synthesizing load — byte-identical to the recorded run under the
+// same spec, at any shard count, which is how live traffic captured
+// once gets replayed against candidate configurations. -cache-hit puts
+// a warmth-tracking cache tier in front of routing: hits return at
+// -cache-latency, misses route normally, and the fleet is provisioned
+// against the miss load — scenario cache-flush events (cachestorm)
+// then show the stampede cost of that leaner sizing.
 //
 // -ndjson streams every replayed interval as one JSON line on stdout
 // while the day runs — the engine's Observer hook, the same stream the
@@ -111,6 +125,12 @@ type cliFlags struct {
 	admission *string
 	scen      *string
 	listScen  *bool
+	trace     *string
+	record    *string
+	cacheHit  *float64
+	cacheLat  *float64
+	cacheFill *float64
+	cacheCold *bool
 	days      *int
 	stepMin   *float64
 	peak      *float64
@@ -156,7 +176,19 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 			"admission shedding: none or a registered name ("+strings.Join(fleet.AdmissionNames(), ", ")+")"),
 		scen: fs.String("scenario", def.Scenario,
 			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array"),
-		listScen:  fs.Bool("list-scenarios", false, "list the built-in scenarios and exit"),
+		listScen: fs.Bool("list-scenarios", false, "list the built-in scenarios and exit"),
+		trace: fs.String("trace", def.Trace,
+			"replay recorded arrivals from this NDJSON trace instead of synthesizing load (see -record)"),
+		record: fs.String("record", "",
+			"record the run's arrival trace as NDJSON to this file (- = stdout); forces -trace-sample 1 and a single router x policy run"),
+		cacheHit: fs.Float64("cache-hit", def.Cache.HitRate,
+			"cache tier: asymptotic hit rate in [0,1) (0 = no cache tier)"),
+		cacheLat: fs.Float64("cache-latency", def.Cache.LatencyMS,
+			"cache tier: hit latency in milliseconds (0 = 0.3)"),
+		cacheFill: fs.Float64("cache-fill", def.Cache.FillQueries,
+			"cache tier: misses to refill an empty cache to ~63% warmth (0 = 2000)"),
+		cacheCold: fs.Bool("cache-cold", def.Cache.ColdStart,
+			"cache tier: start the day with cold caches (warmth 0) instead of warm"),
 		days:      fs.Int("days", def.Days, "days of diurnal load"),
 		stepMin:   fs.Float64("step-min", def.StepMin, "trace interval in minutes (>= 24 intervals per day at 60)"),
 		peak:      fs.Float64("peak", def.PeakQPS, "per-workload peak QPS (0 = auto-size to fleet)"),
@@ -204,26 +236,31 @@ func buildSpec(cf *cliFlags, fs *flag.FlagSet) (fleet.Spec, error) {
 	// cannot override, so keep the table in sync with cliFlags.
 	// -routers/-policies are the sweep axes, applied in main.
 	overlays := map[string]func(*fleet.Spec){
-		"models":       func(s *fleet.Spec) { s.Models = splitModels(*cf.models) },
-		"fleet":        func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
-		"scaler":       func(s *fleet.Spec) { s.Scaler = *cf.scaler },
-		"admission":    func(s *fleet.Spec) { s.Admission = *cf.admission },
-		"scenario":     func(s *fleet.Spec) { s.Scenario = *cf.scen },
-		"days":         func(s *fleet.Spec) { s.Days = *cf.days },
-		"step-min":     func(s *fleet.Spec) { s.StepMin = *cf.stepMin },
-		"peak":         func(s *fleet.Spec) { s.PeakQPS = *cf.peak },
-		"headroom":     func(s *fleet.Spec) { s.HeadroomR = *cf.headroom },
-		"queue":        func(s *fleet.Spec) { s.Options.QueueCap = *cf.queue },
-		"slice":        func(s *fleet.Spec) { s.Options.SliceS = *cf.slice },
-		"window":       func(s *fleet.Spec) { s.Options.WindowS = *cf.window },
-		"max-queries":  func(s *fleet.Spec) { s.Options.MaxQueriesPerInterval = *cf.maxQ },
-		"batch":        func(s *fleet.Spec) { s.Options.MaxBatch = *cf.batch },
-		"batch-wait":   func(s *fleet.Spec) { s.Options.BatchWaitS = *cf.batchWait / 1e3 },
-		"shards":       func(s *fleet.Spec) { s.Options.Shards = *cf.shards },
-		"sequential":   func(s *fleet.Spec) { s.Options.Sequential = *cf.seq },
-		"seed":         func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
-		"trace-sample": func(s *fleet.Spec) { s.Options.TraceSample = *cf.traceSample },
-		"sketch-tails": func(s *fleet.Spec) { s.Options.SketchTails = *cf.sketchTails },
+		"models":        func(s *fleet.Spec) { s.Models = splitModels(*cf.models) },
+		"fleet":         func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
+		"scaler":        func(s *fleet.Spec) { s.Scaler = *cf.scaler },
+		"admission":     func(s *fleet.Spec) { s.Admission = *cf.admission },
+		"scenario":      func(s *fleet.Spec) { s.Scenario = *cf.scen },
+		"trace":         func(s *fleet.Spec) { s.Trace = *cf.trace },
+		"cache-hit":     func(s *fleet.Spec) { s.Cache.HitRate = *cf.cacheHit },
+		"cache-latency": func(s *fleet.Spec) { s.Cache.LatencyMS = *cf.cacheLat },
+		"cache-fill":    func(s *fleet.Spec) { s.Cache.FillQueries = *cf.cacheFill },
+		"cache-cold":    func(s *fleet.Spec) { s.Cache.ColdStart = *cf.cacheCold },
+		"days":          func(s *fleet.Spec) { s.Days = *cf.days },
+		"step-min":      func(s *fleet.Spec) { s.StepMin = *cf.stepMin },
+		"peak":          func(s *fleet.Spec) { s.PeakQPS = *cf.peak },
+		"headroom":      func(s *fleet.Spec) { s.HeadroomR = *cf.headroom },
+		"queue":         func(s *fleet.Spec) { s.Options.QueueCap = *cf.queue },
+		"slice":         func(s *fleet.Spec) { s.Options.SliceS = *cf.slice },
+		"window":        func(s *fleet.Spec) { s.Options.WindowS = *cf.window },
+		"max-queries":   func(s *fleet.Spec) { s.Options.MaxQueriesPerInterval = *cf.maxQ },
+		"batch":         func(s *fleet.Spec) { s.Options.MaxBatch = *cf.batch },
+		"batch-wait":    func(s *fleet.Spec) { s.Options.BatchWaitS = *cf.batchWait / 1e3 },
+		"shards":        func(s *fleet.Spec) { s.Options.Shards = *cf.shards },
+		"sequential":    func(s *fleet.Spec) { s.Options.Sequential = *cf.seq },
+		"seed":          func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
+		"trace-sample":  func(s *fleet.Spec) { s.Options.TraceSample = *cf.traceSample },
+		"sketch-tails":  func(s *fleet.Spec) { s.Options.SketchTails = *cf.sketchTails },
 	}
 	if *cf.spec == "" {
 		for _, apply := range overlays {
@@ -320,6 +357,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A recorded trace replaces workload synthesis; its models drive
+	// the run (and the calibration below) unless -models pins them.
+	var traceSrc *fleet.TraceSource
+	if spec.Trace != "" {
+		traceSrc, err = fleet.LoadTrace(spec.Trace)
+		if err != nil {
+			fatal(err)
+		}
+		if !flagWasSet(flag.CommandLine, "models") {
+			spec.Models = traceSrc.Models()
+		}
+		fmt.Fprintf(os.Stderr, "replaying %s: %d interval(s), models %s\n",
+			spec.Trace, traceSrc.Steps(), strings.Join(traceSrc.Models(), ","))
+	}
 	table, err := loadOrCalibrateTable(*cf.table, spec, spec.Options.Seed)
 	if err != nil {
 		fatal(err)
@@ -352,6 +403,20 @@ func main() {
 		}
 		traceSinks = append(traceSinks, telemetry.NewChromeWriter(w, spec.Options.SliceS))
 	}
+	if *cf.record != "" {
+		if len(routers) > 1 || len(policies) > 1 {
+			fatal(fmt.Errorf("-record captures one run's arrivals; pick a single -routers and -policies value"))
+		}
+		w, err := openOut(*cf.record)
+		if err != nil {
+			fatal(err)
+		}
+		// Arrival capture must see every query, and the file carries only
+		// the arrival + offer events the -trace replay path re-ingests.
+		traceSinks = append(traceSinks,
+			telemetry.NewNDJSONWriter(w).Restrict(telemetry.KindArrival, telemetry.KindOffer))
+		spec.Options.TraceSample = 1
+	}
 	if len(traceSinks) > 0 && spec.Options.TraceSample == 0 {
 		spec.Options.TraceSample = 1024
 	}
@@ -366,7 +431,11 @@ func main() {
 	runScens := []string{spec.Scenario}
 	if scen.Active() {
 		fmt.Fprint(os.Stderr, scen.Summary())
-		runScens = []string{"baseline", spec.Scenario}
+		// Pair the disruption with a baseline replay — unless recording,
+		// where the file must carry exactly one run's arrivals.
+		if *cf.record == "" {
+			runScens = []string{"baseline", spec.Scenario}
+		}
 	}
 	// The -ndjson stream goes through one buffered writer for the whole
 	// sweep: per-interval lines are small and frequent, and an
@@ -383,7 +452,13 @@ func main() {
 				run.Policy = pol
 				run.Router = router
 				run.Scenario = sc
-				eng, err := fleet.NewEngine(run, fleet.WithTable(table))
+				engOpts := []fleet.Option{fleet.WithTable(table)}
+				if traceSrc != nil {
+					// Share the loaded trace across the sweep instead of
+					// re-reading the file per run.
+					engOpts = append(engOpts, fleet.WithTraceSource(traceSrc))
+				}
+				eng, err := fleet.NewEngine(run, engOpts...)
 				if err != nil {
 					fatal(err)
 				}

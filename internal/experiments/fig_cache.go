@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hercules/internal/fleet"
+)
+
+// The cache experiment puts the fleet.Cache tier in front of the online
+// replay and scores the failure mode the tier introduces: the fleet is
+// provisioned against the cache's *miss* load, so the steady-state
+// rows get leaner (and cheaper) as the hit rate climbs — and the
+// cachestorm scenario then invalidates the warmth mid-day, landing the
+// full offered load on a fleet sized for a fraction of it. The sweep
+// reports both sides of that trade: energy saved at steady state, and
+// drops/tail damage taken during the stampede, per configured hit rate.
+
+// CacheHitRates are the asymptotic hit rates the sweep scores; 0 is the
+// cache-less reference row.
+var CacheHitRates = []float64{0, 0.5, 0.8}
+
+// CacheScenarios are the scenarios each hit rate is scored under:
+// steady state and the built-in cache-stampede drill.
+var CacheScenarios = []string{"baseline", "cachestorm"}
+
+// CacheSpec is the sweep's run spec for one hit-rate × scenario cell:
+// the Fig. 13-online configuration (p2c router, hercules provisioning)
+// with the cache tier enabled at the given asymptotic rate.
+func CacheSpec(hitRate float64, scenarioName string, seed int64) fleet.Spec {
+	spec := fleet.DefaultSpec()
+	spec.Router = fleet.PowerOfTwo
+	spec.Models = append([]string(nil), FleetModels...)
+	spec.Scenario = scenarioName
+	spec.Cache = fleet.CacheSpec{HitRate: hitRate}
+	spec.Options.MaxQueriesPerInterval = 25000
+	spec.Options.Seed = seed
+	return spec
+}
+
+// CacheRow is one cell of the sweep.
+type CacheRow struct {
+	ConfiguredHitRate float64
+	Day               fleet.DayResult
+}
+
+// FigCacheResult holds the hit-rate × scenario sweep.
+type FigCacheResult struct {
+	Rows []CacheRow
+}
+
+// FigCache replays the diurnal day for every configured hit rate under
+// every cache scenario.
+func FigCache(seed int64) (FigCacheResult, error) {
+	var res FigCacheResult
+	for _, name := range CacheScenarios {
+		for _, hr := range CacheHitRates {
+			day, err := runFleetSpec(CacheSpec(hr, name, seed), seed)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, CacheRow{ConfiguredHitRate: hr, Day: day})
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the row for one hit rate × scenario pair.
+func (r FigCacheResult) Cell(hitRate float64, scenarioName string) (CacheRow, bool) {
+	for _, row := range r.Rows {
+		if row.ConfiguredHitRate == hitRate && row.Day.Scenario == scenarioName {
+			return row, true
+		}
+	}
+	return CacheRow{}, false
+}
+
+// Render implements Renderer.
+func (r FigCacheResult) Render() string {
+	var sb strings.Builder
+	header(&sb, "Cache tier: hit rate x scenario (p2c router, hercules provisioning, miss-adjusted sizing)")
+	sb.WriteString("scenario\tcfg_hit\trealized_hit\tdrop_pct\tsla_viol_min\tmax_p99_ms\tenergy_MJ\n")
+	for _, row := range r.Rows {
+		d := row.Day
+		fmt.Fprintf(&sb, "%s\t%.2f\t%.3f\t%.2f\t%.1f\t%.1f\t%.1f\n",
+			d.Scenario, row.ConfiguredHitRate, d.CacheHitRate, d.DropFrac*100,
+			d.SLAViolationMin, d.MaxP99MS, d.EnergyKJ/1e3)
+	}
+	// Divergence summary: what the stampede costs at each hit rate over
+	// the matching steady-state row. The damage should grow with the
+	// configured hit rate — the leaner the miss-sized fleet, the harder
+	// the invalidated load lands.
+	for _, hr := range CacheHitRates {
+		if hr == 0 {
+			continue
+		}
+		base, okB := r.Cell(hr, "baseline")
+		storm, okS := r.Cell(hr, "cachestorm")
+		if !okB || !okS {
+			continue
+		}
+		fmt.Fprintf(&sb, "hit %.2f: storm hit-rate %.3f vs %.3f steady, +%.2f%% drops, +%.1f p99 ms\n",
+			hr, storm.Day.CacheHitRate, base.Day.CacheHitRate,
+			(storm.Day.DropFrac-base.Day.DropFrac)*100,
+			storm.Day.MaxP99MS-base.Day.MaxP99MS)
+	}
+	return sb.String()
+}

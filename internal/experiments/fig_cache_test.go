@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays several full days of traffic")
+	}
+	t.Parallel()
+	r, err := FigCache(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(CacheScenarios) * len(CacheHitRates); len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		d := row.Day
+		if d.TotalQueries <= 0 {
+			t.Fatalf("hit %.2f %s: no queries replayed", row.ConfiguredHitRate, d.Scenario)
+		}
+		if row.ConfiguredHitRate == 0 && d.TotalCacheHits != 0 {
+			t.Errorf("cache-less row recorded %d hits", d.TotalCacheHits)
+		}
+	}
+	// Steady state: the realized hit rate tracks the configured
+	// asymptote, and the miss-sized fleet burns less energy than the
+	// cache-less reference.
+	ref, _ := r.Cell(0, "baseline")
+	for _, hr := range CacheHitRates[1:] {
+		row, ok := r.Cell(hr, "baseline")
+		if !ok {
+			t.Fatalf("missing baseline cell for hit %.2f", hr)
+		}
+		if got := row.Day.CacheHitRate; got < hr-0.05 || got > hr+0.05 {
+			t.Errorf("hit %.2f baseline: realized %.3f", hr, got)
+		}
+		if row.Day.EnergyKJ >= ref.Day.EnergyKJ {
+			t.Errorf("hit %.2f baseline: energy %.0f kJ, cache-less ref %.0f kJ — misses should provision leaner",
+				hr, row.Day.EnergyKJ, ref.Day.EnergyKJ)
+		}
+	}
+	// The stampede must measurably move hit rate and damage at the high
+	// hit rate: the fleet was sized for 20% of the load.
+	base, _ := r.Cell(0.8, "baseline")
+	storm, ok := r.Cell(0.8, "cachestorm")
+	if !ok {
+		t.Fatal("missing cachestorm cell")
+	}
+	if storm.Day.CacheHitRate > base.Day.CacheHitRate-0.05 {
+		t.Errorf("storm hit rate %.3f vs steady %.3f — flush did not move it",
+			storm.Day.CacheHitRate, base.Day.CacheHitRate)
+	}
+	if storm.Day.TotalDrops <= base.Day.TotalDrops && storm.Day.MaxP99MS <= base.Day.MaxP99MS {
+		t.Errorf("storm left no mark: drops %d vs %d, max p99 %.1f vs %.1f",
+			storm.Day.TotalDrops, base.Day.TotalDrops, storm.Day.MaxP99MS, base.Day.MaxP99MS)
+	}
+	// The cache-less row must not care about the cache storm (its only
+	// events are flushes — fleet state is untouched).
+	refStorm, _ := r.Cell(0, "cachestorm")
+	if refStorm.Day.TotalDrops != ref.Day.TotalDrops {
+		t.Errorf("cache-less storm drops %d vs baseline %d — flush must be invisible without the tier",
+			refStorm.Day.TotalDrops, ref.Day.TotalDrops)
+	}
+	out := r.Render()
+	for _, want := range []string{"Cache tier", "cachestorm", "realized_hit", "storm hit-rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

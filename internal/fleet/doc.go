@@ -45,8 +45,22 @@
 //   - CalibrateTable — a seconds-scale serving table when the full
 //     Fig. 9b profiling run is too slow;
 //   - ApplyScenario / Engine.Timeline — inject an internal/scenario
-//     timeline (flash crowds, failures, derates, shedding) into the
-//     replay (Spec.Scenario names one and RunDay compiles it).
+//     timeline (flash crowds, failures, derates, shedding, cache
+//     flushes) into the replay (Spec.Scenario names one and RunDay
+//     compiles it);
+//   - TraceSource / LoadTrace — replay a recorded NDJSON arrival
+//     trace (Spec.Trace, or WithTraceSource for an in-memory one) in
+//     place of the synthetic generator; re-ingesting a day recorded
+//     at trace sample 1 reproduces its DayResult byte for byte at any
+//     shard count (TestRecordReplayRoundTrip pins it, FuzzTraceParse
+//     holds the parser to errors-never-panics);
+//   - CacheSpec (Spec.Cache) — an embedding-cache tier in front of
+//     the fleet: hits resolve at the cache latency without touching a
+//     router, misses route normally, and the realized hit rate tracks
+//     per-model warmth state that scenario flush/mixshift events
+//     degrade and misses re-warm. Provisioning sizes for the miss
+//     stream using the previous interval's realized hit rate, which
+//     is exactly why a flush storm hurts a warm-provisioned fleet.
 //
 // Dynamic batching (Options.MaxBatch > 1) turns each instance into a
 // batcher: queued queries coalesce into batches that launch when full,

@@ -129,7 +129,20 @@ type Engine struct {
 	// tracer's sinks. NewEngine creates one automatically when
 	// Options.TraceSample > 0; hand-assembled engines set it directly.
 	Tracer *telemetry.Tracer
-	Opts   Options
+	// TraceSrc replays a recorded arrival trace instead of generating
+	// queries: each interval's stream comes verbatim from the trace
+	// (IDs, arrival instants, sizes, sparse scales), offered loads from
+	// its offer records, and the scenario's traffic-shaping effects
+	// (spikes, mix shifts) are skipped — they are already baked into
+	// the recorded arrivals. Shedding, admission, fleet effects and the
+	// cache tier re-apply as live policy. NewEngine sets it from
+	// Spec.Trace or WithTraceSource.
+	TraceSrc *TraceSource
+	// Cache models the request cache tier in front of routing (see
+	// CacheSpec); the zero value disables it and replays bit-identically
+	// to the cache-less engine. NewEngine copies it from Spec.Cache.
+	Cache CacheSpec
+	Opts  Options
 
 	newRouter func() Router
 	models    map[string]*model.Model
@@ -140,6 +153,13 @@ type Engine struct {
 	instSeq   int
 	baseOverR float64
 	scratch   replayScratch
+
+	// cacheActive gates every cache branch for one RunDay; the maps are
+	// the tier's per-model state (see cache.go).
+	cacheActive   bool
+	cacheWarmth   map[string]float64
+	cachePrevSize map[string]float64
+	cacheHitPrev  map[string]float64
 }
 
 // modelObs is the per-model observation admission policies condition
@@ -220,10 +240,17 @@ type IntervalStats struct {
 	Shed int `json:"shed,omitempty"`
 	// DeadServers is how many fleet servers a scenario failure event
 	// holds down during this interval.
-	DeadServers int     `json:"dead_servers,omitempty"`
-	P50MS       float64 `json:"p50_ms"`
-	P95MS       float64 `json:"p95_ms"`
-	P99MS       float64 `json:"p99_ms"`
+	DeadServers int `json:"dead_servers,omitempty"`
+	// CacheHits counts queries the cache tier served (at cache latency,
+	// never routed); CacheHitRate is hits over admitted queries and
+	// CacheWarmth the per-model warmth state after this interval's
+	// flush/refill. All zero (and omitted) when the tier is disabled.
+	CacheHits    int                `json:"cache_hits,omitempty"`
+	CacheHitRate float64            `json:"cache_hit_rate,omitempty"`
+	CacheWarmth  map[string]float64 `json:"cache_warmth,omitempty"`
+	P50MS        float64            `json:"p50_ms"`
+	P95MS        float64            `json:"p95_ms"`
+	P99MS        float64            `json:"p99_ms"`
 	// ModelP95MS / ModelP99MS are per-model windowless tails.
 	ModelP95MS map[string]float64 `json:"model_p95_ms"`
 	ModelP99MS map[string]float64 `json:"model_p99_ms"`
@@ -258,9 +285,13 @@ type DayResult struct {
 	Scenario string          `json:"scenario"`
 	Steps    []IntervalStats `json:"intervals"`
 
-	TotalQueries        int     `json:"total_queries"`
-	TotalDrops          int     `json:"total_drops"`
-	TotalShed           int     `json:"total_shed,omitempty"`
+	TotalQueries int `json:"total_queries"`
+	TotalDrops   int `json:"total_drops"`
+	TotalShed    int `json:"total_shed,omitempty"`
+	// TotalCacheHits and CacheHitRate aggregate the cache tier's serves
+	// (zero and omitted when the tier is disabled).
+	TotalCacheHits      int     `json:"total_cache_hits,omitempty"`
+	CacheHitRate        float64 `json:"cache_hit_rate,omitempty"`
 	DropFrac            float64 `json:"drop_frac"`
 	SLAViolationMin     float64 `json:"sla_violation_min"`
 	MeanP95MS           float64 `json:"mean_p95_ms"`
@@ -324,6 +355,14 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	e.idleW = make(map[string]float64)
 	e.prevObs = make(map[string]modelObs, len(ws))
 	e.baseOverR = e.Provisioner.OverProvisionR
+	e.cacheActive = e.Cache.Enabled()
+	if e.cacheActive {
+		names := make([]string, 0, len(ws))
+		for _, w := range ws {
+			names = append(names, w.Model)
+		}
+		e.cacheInit(names)
+	}
 
 	steps := ws[0].Trace.Steps()
 	for _, w := range ws[1:] {
@@ -331,6 +370,10 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	}
 	if steps == 0 {
 		return res, fmt.Errorf("fleet: empty traces")
+	}
+	if e.TraceSrc != nil && e.TraceSrc.Steps() < steps {
+		return res, fmt.Errorf("fleet: trace has %d intervals, workloads span %d",
+			e.TraceSrc.Steps(), steps)
 	}
 	stepS := ws[0].Trace.StepS
 	every := max(e.Opts.ReprovisionEvery, 1)
@@ -379,15 +422,29 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		for _, w := range ws {
 			loads[w.Model] += w.Trace.LoadsQPS[i]
 		}
-		for m := range loads {
-			loads[m] *= eff.Load(m)
+		if e.TraceSrc == nil {
+			// Replayed traces carry post-scenario loads (their offers were
+			// recorded after spike scaling): only synthesized days apply
+			// the timeline's traffic scaling here.
+			for m := range loads {
+				loads[m] *= eff.Load(m)
+			}
 		}
 		scheduled := i%every == 0
 		reprovision := i == 0 || scheduled || earlyPending
 		if reprovision {
 			e.Provisioner.OverProvisionR = e.baseOverR + extraR
 			e.Provisioner.Unavailable = knownFleet.Killed
-			active = e.Provisioner.Step(loads)
+			provLoads := loads
+			if e.cacheActive {
+				// The control plane provisions for the backend (miss)
+				// load: offered load net of each model's lagged measured
+				// hit rate. The lag is what turns a cache flush into a
+				// storm — the fleet stays sized for the warm-cache miss
+				// rate until the next re-provision learns otherwise.
+				provLoads = e.cacheMissLoads(loads)
+			}
+			active = e.Provisioner.Step(provLoads)
 			insts = e.buildInstances(active.Alloc)
 		}
 
@@ -683,6 +740,14 @@ type shardWork struct {
 	// reused across queries and intervals.
 	comps []Completion
 
+	// Cache tier: cacheHR > 0 enables the hit test — a deterministic
+	// Bernoulli draw on cacheStream hashed with the query ID, so the
+	// set of hits is a pure function of the query's identity, never of
+	// shard layout. Hits complete at cacheLatS and skip routing.
+	cacheHR     float64
+	cacheLatS   float64
+	cacheStream uint64
+
 	// trace stages this shard's sampled lifecycle events (single
 	// writer: exactly this shard during the interval); the engine
 	// drains it in deterministic shard order afterwards. traceOn gates
@@ -701,6 +766,7 @@ type shardWork struct {
 	winSk    []stats.Sketch // per-window sketches (ms), when useSketch
 	winDrops []int
 	dropped  int
+	hits     int // queries the cache tier served
 }
 
 // reset re-arms a pooled shard for an interval with the given window
@@ -710,6 +776,8 @@ func (w *shardWork) reset(windows int, useSketch bool) {
 	w.insts = w.insts[:0]
 	w.queries = w.queries[:0]
 	w.dropped = 0
+	w.hits = 0
+	w.cacheHR = 0
 	w.windows = windows
 	w.traceOn = false
 	w.useSketch = useSketch
@@ -760,6 +828,23 @@ func (w *shardWork) observe(wi int, latS float64) {
 	w.winLatS[wi] = append(w.winLatS[wi], latS)
 }
 
+// cacheServe runs one query through the cache tier: a hit completes at
+// cache latency, counts as served, and never reaches a router (nor a
+// drop — the tier sits ahead of the pool-empty check). Returns whether
+// the query was served there.
+func (w *shardWork) cacheServe(q workload.Query, wi int, sampled bool) bool {
+	if w.cacheHR <= 0 || !cacheHit(w.cacheStream, q.ID, w.cacheHR) {
+		return false
+	}
+	w.hits++
+	w.observe(wi, w.cacheLatS)
+	if sampled {
+		ev := w.trace.Emit(telemetry.KindHit, q.ID, q.ArrivalS)
+		ev.Value = w.cacheLatS
+	}
+	return true
+}
+
 // traceServed emits the service-side events of one sampled query:
 // enqueue (queue wait), start (with batch size), end (service span)
 // and complete (total latency).
@@ -796,6 +881,9 @@ func (w *shardWork) run() {
 			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
 			ev.Value = float64(q.Size)
 			ev.Aux = q.SparseScale
+		}
+		if w.cacheServe(q, wi, sampled) {
+			continue
 		}
 		if len(w.insts) == 0 {
 			w.dropped++
@@ -860,6 +948,9 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
 			ev.Value = float64(q.Size)
 			ev.Aux = q.SparseScale
+		}
+		if w.cacheServe(q, wi, sampled) {
+			continue
 		}
 		if len(w.insts) == 0 {
 			w.dropped++
@@ -963,22 +1054,35 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		ModelP95MS: make(map[string]float64),
 		ModelP99MS: make(map[string]float64),
 	}
-	var totalLoad float64
 	names := make([]string, 0, len(loads))
-	for m, l := range loads {
-		totalLoad += l
+	for m := range loads {
 		names = append(names, m)
 	}
 	sort.Strings(names)
+	// Sum in sorted-name order: float addition is not associative, so a
+	// map-range sum would make the slice budget (and everything seeded
+	// off it) depend on iteration order once three models share a day.
+	var totalLoad float64
+	for _, m := range names {
+		totalLoad += loads[m]
+	}
 	ist.OfferedQPS = totalLoad
 	if totalLoad <= 0 {
 		return ist
 	}
 
-	// Size the slice: full offered rate, bounded total queries.
+	// Size the slice: full offered rate, bounded total queries. A
+	// replayed trace's recorded slice is authoritative — the recording
+	// run already sized it, and re-deriving would couple byte identity
+	// to matching engine tuning.
 	sliceS := e.Opts.SliceS
 	if budget := float64(e.Opts.MaxQueriesPerInterval); budget > 0 && totalLoad*sliceS > budget {
 		sliceS = budget / totalLoad
+	}
+	if e.TraceSrc != nil {
+		if rec := e.TraceSrc.Slice(idx); rec > 0 {
+			sliceS = rec
+		}
 	}
 	windows := stats.ClampInt(int(sliceS/e.Opts.WindowS), 2, 600)
 	windowW := sliceS / float64(windows)
@@ -998,11 +1102,16 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	scr := &e.scratch
 	scr.used = 0
 	scr.tasks = scr.tasks[:0]
+	cacheLatS := e.Cache.latencyS()
 	starts := make([]int, len(names)+1)
 	for mi, m := range names {
 		pool := insts[m]
 		sla := e.models[m].SLATargetMS
 		mh := hashString(m)
+		cacheHR := 0.0
+		if e.cacheActive {
+			cacheHR = e.cacheAdvance(m, eff)
+		}
 		n := max(min(shardCap, len(pool)), 1)
 		starts[mi] = len(scr.tasks)
 		for s := 0; s < n; s++ {
@@ -1015,6 +1124,9 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			sh.windowW = windowW
 			sh.sliceS = sliceS
 			sh.maxBatch = max(e.Opts.MaxBatch, 1)
+			sh.cacheHR = cacheHR
+			sh.cacheLatS = cacheLatS
+			sh.cacheStream = cacheStreamSeed(e.Opts.Seed, idx, mh)
 			if tr != nil {
 				sh.trace.Arm(tr, idx, m, mh)
 				sh.traceOn = true
@@ -1025,14 +1137,36 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		for j, in := range pool {
 			shards[j%n].insts = append(shards[j%n].insts, in)
 		}
-		gen := workload.NewGenerator(e.models[m], loads[m], mixSeed(e.Opts.Seed, 0x9e37+int64(idx), int64(mi)))
-		if sc := eff.Size(m); sc != 1 {
-			// Shift the lognormal's median: the mix rotation makes every
-			// query sc× heavier without touching the arrival process.
-			gen.Sizes.Mu += math.Log(sc)
+		var queries []workload.Query
+		if e.TraceSrc != nil {
+			// Recorded arrivals, copied before the in-place shed thinning
+			// below. Mix shifts are skipped along with load scaling — both
+			// are already baked into the recorded stream.
+			queries = append(scr.queries[:0], e.TraceSrc.Queries(idx, m)...)
+		} else {
+			gen := workload.NewGenerator(e.models[m], loads[m], mixSeed(e.Opts.Seed, 0x9e37+int64(idx), int64(mi)))
+			if sc := eff.Size(m); sc != 1 {
+				// Shift the lognormal's median: the mix rotation makes every
+				// query sc× heavier without touching the arrival process.
+				gen.Sizes.Mu += math.Log(sc)
+			}
+			queries = gen.AppendUntil(scr.queries[:0], sliceS)
 		}
-		queries := gen.AppendUntil(scr.queries[:0], sliceS)
 		scr.queries = queries[:0]
+		// The model's engine-level trace stream: the interval's offer
+		// record (the offered load and slice the replay provisioned with
+		// — what lets a recorded trace re-provision identically on
+		// re-ingestion), then arrival+shed pairs of sampled shed queries.
+		// Staged per model and ingested ahead of the shard events, all on
+		// the replay goroutine, so the order is deterministic.
+		var shedBuf *telemetry.ShardBuf
+		if tr != nil {
+			scr.shedBuf.Arm(tr, idx, m, mh)
+			shedBuf = &scr.shedBuf
+			ev := shedBuf.Emit(telemetry.KindOffer, -1, 0)
+			ev.Value = loads[m]
+			ev.Aux = sliceS
+		}
 		// Two shedding sources compose at the door: the scenario's
 		// load-shedding drills and the engine's admission policy (which
 		// conditions on what the previous interval observed). Independent
@@ -1053,14 +1187,6 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		if frac > 0 {
 			// Admission control drops a deterministic Bernoulli thinning
 			// of the stream (in place); shed queries never reach a router.
-			// Sampled shed queries trace here — arrival plus shed, staged
-			// per model and ingested ahead of the shard events (all on the
-			// replay goroutine, so the order is deterministic).
-			var shedBuf *telemetry.ShardBuf
-			if tr != nil {
-				scr.shedBuf.Arm(tr, idx, m, mh)
-				shedBuf = &scr.shedBuf
-			}
 			shedR := stats.NewRand(mixSeed(e.Opts.Seed, 0x5ed0+int64(idx), int64(mi)))
 			kept := queries[:0]
 			for _, q := range queries {
@@ -1078,9 +1204,9 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				kept = append(kept, q)
 			}
 			queries = kept
-			if shedBuf != nil {
-				tr.Ingest(shedBuf.Events())
-			}
+		}
+		if shedBuf != nil {
+			tr.Ingest(shedBuf.Events())
 		}
 		split := stats.NewRand(mixSeed(e.Opts.Seed, 0x517+int64(idx), int64(mi)))
 		for _, q := range queries {
@@ -1162,13 +1288,18 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				}
 				scr.modelSk.Merge(&scr.winSk)
 			}
-			mQueries, mDrops := 0, 0
+			mQueries, mDrops, mHits := 0, 0, 0
 			for _, sh := range shards {
 				mQueries += len(sh.queries)
 				mDrops += sh.dropped
+				mHits += sh.hits
 			}
 			ist.Queries += mQueries
 			ist.Drops += mDrops
+			ist.CacheHits += mHits
+			if e.cacheActive {
+				e.cacheFill(m, mQueries-mDrops-mHits, mHits, mQueries, stepS/sliceS)
+			}
 			ist.ModelP95MS[m] = scr.modelSk.Quantile(95)
 			ist.ModelP99MS[m] = scr.modelSk.Quantile(99)
 			obs := modelObs{p99MS: ist.ModelP99MS[m]}
@@ -1202,13 +1333,18 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				}
 				scr.winBuf = winBuf[:0]
 			}
-			mQueries, mDrops := 0, 0
+			mQueries, mDrops, mHits := 0, 0, 0
 			for _, sh := range shards {
 				mQueries += len(sh.queries)
 				mDrops += sh.dropped
+				mHits += sh.hits
 			}
 			ist.Queries += mQueries
 			ist.Drops += mDrops
+			ist.CacheHits += mHits
+			if e.cacheActive {
+				e.cacheFill(m, mQueries-mDrops-mHits, mHits, mQueries, stepS/sliceS)
+			}
 			allBuf = append(allBuf, mBuf...)
 			ist.ModelP95MS[m] = stats.PercentileSelect(mBuf, 95)
 			ist.ModelP99MS[m] = stats.PercentileSelect(mBuf, 99)
@@ -1224,6 +1360,15 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		ist.P95MS = stats.PercentileSelect(allBuf, 95)
 		ist.P99MS = stats.PercentileSelect(allBuf, 99)
 		scr.allBuf = allBuf[:0]
+	}
+	if e.cacheActive {
+		if ist.Queries > 0 {
+			ist.CacheHitRate = float64(ist.CacheHits) / float64(ist.Queries)
+		}
+		ist.CacheWarmth = make(map[string]float64, len(names))
+		for _, m := range names {
+			ist.CacheWarmth[m] = e.cacheWarmth[m]
+		}
 	}
 	for _, b := range breached {
 		if b {

@@ -36,6 +36,7 @@ func NewMetricsObserver(reg *telemetry.Registry) Observer {
 	queries := reg.Counter("fleet_queries_total")
 	drops := reg.Counter("fleet_drops_total")
 	shed := reg.Counter("fleet_shed_total")
+	hits := reg.Counter("fleet_cache_hits_total")
 	breached := reg.Counter("fleet_windows_breached_total")
 	offered := reg.Gauge("fleet_offered_qps")
 	servers := reg.Gauge("fleet_active_servers")
@@ -48,6 +49,7 @@ func NewMetricsObserver(reg *telemetry.Registry) Observer {
 		queries.Add(int64(ist.Queries))
 		drops.Add(int64(ist.Drops))
 		shed.Add(int64(ist.Shed))
+		hits.Add(int64(ist.CacheHits))
 		breached.Add(int64(ist.WindowsBreached))
 		offered.Set(ist.OfferedQPS)
 		servers.Set(float64(ist.ActiveServers))
@@ -80,6 +82,7 @@ func (d *dayAggregator) ObserveInterval(ist IntervalStats) {
 	res.TotalQueries += ist.Queries
 	res.TotalDrops += ist.Drops
 	res.TotalShed += ist.Shed
+	res.TotalCacheHits += ist.CacheHits
 	res.SLAViolationMin += ist.ViolationMin
 	res.EnergyKJ += ist.EnergyKJ
 	res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
@@ -97,5 +100,6 @@ func (d *dayAggregator) finish(steps int) {
 	res.MeanP99MS /= float64(steps)
 	if res.TotalQueries > 0 {
 		res.DropFrac = float64(res.TotalDrops) / float64(res.TotalQueries)
+		res.CacheHitRate = float64(res.TotalCacheHits) / float64(res.TotalQueries)
 	}
 }

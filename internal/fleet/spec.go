@@ -40,6 +40,16 @@ type Spec struct {
 	// Scenario injects a non-stationary timeline: a built-in name, a
 	// @file.json reference, or inline JSON (scenario.Parse).
 	Scenario string `json:"scenario,omitempty"`
+	// Trace replays a recorded NDJSON arrival trace (the fleet CLI's
+	// -record output, or any tracer export at sample 1) instead of
+	// synthesizing the diurnal day: the path is loaded with LoadTrace
+	// and installed as Engine.TraceSrc. When Models is empty the
+	// trace's models are adopted.
+	Trace string `json:"trace,omitempty"`
+	// Cache models a request cache tier in front of routing (hit-rate
+	// curves keyed by tracked warmth; see CacheSpec). The zero value
+	// disables it.
+	Cache CacheSpec `json:"cache,omitempty"`
 	// HeadroomR is the provisioner's over-provision rate R; 0 defers
 	// to DefaultSpec's serving headroom (0.15).
 	HeadroomR float64 `json:"headroom_r,omitempty"`
@@ -127,6 +137,7 @@ type engineConfig struct {
 	admissionSet bool
 	observers    []Observer
 	tracer       *telemetry.Tracer
+	traceSrc     *TraceSource
 }
 
 // WithFleet overrides the spec's named fleet with an explicit one —
@@ -162,6 +173,13 @@ func WithObserver(o Observer) Option {
 	return func(c *engineConfig) { c.observers = append(c.observers, o) }
 }
 
+// WithTraceSource installs an already-loaded arrival trace, taking
+// precedence over Spec.Trace — for callers that parsed or built the
+// trace themselves (tests, in-memory record→replay round trips).
+func WithTraceSource(ts *TraceSource) Option {
+	return func(c *engineConfig) { c.traceSrc = ts }
+}
+
 // WithTracer installs a pre-configured per-query tracer (its SampleN
 // takes precedence over Spec.Options.TraceSample); without it,
 // NewEngine creates a sink-less tracer whenever Options.TraceSample
@@ -179,11 +197,24 @@ func WithTracer(t *telemetry.Tracer) Option {
 // name of any kind is an error (listing what is registered), never a
 // silent fallback.
 func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
-	spec = spec.withDefaults()
 	var cfg engineConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
+
+	// Load the arrival trace before defaulting: a trace-driven run with
+	// no explicit models adopts the trace's model set, not DefaultSpec's.
+	traceSrc := cfg.traceSrc
+	if traceSrc == nil && spec.Trace != "" {
+		var err error
+		if traceSrc, err = LoadTrace(spec.Trace); err != nil {
+			return nil, err
+		}
+	}
+	if traceSrc != nil && len(spec.Models) == 0 {
+		spec.Models = traceSrc.Models()
+	}
+	spec = spec.withDefaults()
 
 	router, err := ParseRouter(spec.Router)
 	if err != nil {
@@ -254,6 +285,8 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 		Admission:   admission,
 		Scenario:    sc,
 		Observers:   cfg.observers,
+		TraceSrc:    traceSrc,
+		Cache:       spec.Cache,
 		Opts:        spec.Options,
 	}
 	if cfg.tracer != nil {
@@ -289,6 +322,11 @@ func specAdmission(name string) (Admission, error) {
 // at the peak, low enough that the fleet is never simply exhausted.
 func (e *Engine) Workloads() []cluster.Workload {
 	spec := e.Spec.withDefaults()
+	if e.TraceSrc != nil {
+		// A recorded day is its own workload description: per-model
+		// offered loads verbatim from the trace's offer records.
+		return e.TraceSrc.Workloads(spec.StepMin*60, spec.Options.SliceS)
+	}
 	ws := make([]cluster.Workload, 0, len(spec.Models))
 	for i, name := range spec.Models {
 		peak := spec.PeakQPS

@@ -13,7 +13,7 @@ func ExampleNamed() {
 	sc, _ := scenario.Named("flashcrowd")
 	fmt.Print(sc.Summary())
 	// Output:
-	// [baseline degrade failure flashcrowd regionshift shed]
+	// [baseline cachestorm degrade failure flashcrowd regionshift shed]
 	// flashcrowd: 1 event(s)
 	//   12.50h-15.50h load x2.50 on all (0.50h ramps)
 }

@@ -49,6 +49,16 @@ var named = map[string]Scenario{
 	"shed": {Name: "shed", Events: []Event{
 		{Kind: Shed, StartH: 18, EndH: 22, Factor: 0.2},
 	}},
+
+	// cachestorm: 75% of the cache tier's warmth is invalidated every
+	// interval across the climb to peak (a rolling cache-node restart at
+	// the worst possible time). With a cache tier enabled the backends
+	// — provisioned net of the measured hit rate — absorb the miss
+	// flood; without one the scenario is a no-op, making the cache's
+	// contribution directly measurable.
+	"cachestorm": {Name: "cachestorm", Events: []Event{
+		{Kind: Flush, StartH: 18, EndH: 21, Frac: 0.75},
+	}},
 }
 
 // Names lists the built-in scenarios in sorted order.

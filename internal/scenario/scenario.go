@@ -39,6 +39,12 @@ const (
 	// load-shedding drill): shed queries never reach a server and are
 	// accounted separately from queue-full drops.
 	Shed Kind = "shed"
+	// Flush invalidates Frac of a workload's cache-tier warmth per
+	// active interval (a cache node restart, a deploy that rotates key
+	// encodings, a poisoning purge). With the fleet engine's cache tier
+	// enabled the hit rate collapses and misses flood the backends —
+	// the cold-start storm. Without a cache tier the event is a no-op.
+	Flush Kind = "flush"
 )
 
 // Event is one timeline entry of a scenario: an effect of the given
@@ -89,6 +95,10 @@ func (e Event) Validate() error {
 	case Shed:
 		if e.Factor <= 0 || e.Factor >= 1 {
 			return fmt.Errorf("scenario: shed fraction must be in (0,1), got %g", e.Factor)
+		}
+	case Flush:
+		if e.Frac <= 0 || e.Frac > 1 {
+			return fmt.Errorf("scenario: flush fraction must be in (0,1], got %g", e.Frac)
 		}
 	default:
 		return fmt.Errorf("scenario: unknown event kind %q", e.Kind)
@@ -145,9 +155,15 @@ func Parse(s string) (Scenario, error) {
 	case s == "":
 		return Scenario{Name: "baseline"}, nil
 	case strings.HasPrefix(s, "@"):
-		data, err := os.ReadFile(strings.TrimPrefix(s, "@"))
+		path := strings.TrimPrefix(s, "@")
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return Scenario{}, fmt.Errorf("scenario: %w", err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			// Report the real problem, not the JSON decoder's confusing
+			// "unexpected end of JSON input" for a zero-byte spec.
+			return Scenario{}, fmt.Errorf("scenario: empty scenario file %s (want an event array or a {\"name\",\"events\"} object)", path)
 		}
 		return FromJSON(data)
 	case strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{"):
@@ -183,6 +199,8 @@ func (s Scenario) Summary() string {
 			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh derate %s servers to %.0f%% rate\n", e.StartH, e.EndH, scope, e.Factor*100)
 		case Shed:
 			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh shed %.0f%% of %s arrivals\n", e.StartH, e.EndH, e.Factor*100, scope)
+		case Flush:
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh flush %.0f%% of %s cache warmth per interval\n", e.StartH, e.EndH, e.Frac*100, scope)
 		case MixShift:
 			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh shift %s query-size mix x%.2f\n", e.StartH, e.EndH, scope, e.Factor)
 		default:
@@ -206,6 +224,7 @@ type Effects struct {
 	LoadScale  map[string]float64
 	SizeScale  map[string]float64
 	ShedFrac   map[string]float64
+	FlushFrac  map[string]float64
 	Killed     map[string]int
 	DerateFrac map[string]float64
 }
@@ -224,6 +243,17 @@ func (e Effects) Shed(model string) float64 {
 	}
 	// Independent sheds compose: surviving fraction is the product.
 	keep := (1 - e.ShedFrac[""]) * (1 - e.ShedFrac[model])
+	return 1 - keep
+}
+
+// Flush returns the cache-warmth fraction invalidated per interval for
+// one model (default 0). Independent flushes compose: the surviving
+// warmth fraction is the product of what each flush leaves standing.
+func (e Effects) Flush(model string) float64 {
+	if e.FlushFrac == nil {
+		return 0
+	}
+	keep := (1 - e.FlushFrac[""]) * (1 - e.FlushFrac[model])
 	return 1 - keep
 }
 
@@ -323,6 +353,12 @@ func Compile(s Scenario, steps int, stepS float64, fleetCounts map[string]int) (
 				}
 				keep := (1 - eff.ShedFrac[ev.Model]) * (1 - ev.Factor)
 				eff.ShedFrac[ev.Model] = 1 - keep
+			case Flush:
+				if eff.FlushFrac == nil {
+					eff.FlushFrac = make(map[string]float64)
+				}
+				keep := (1 - eff.FlushFrac[ev.Model]) * (1 - ev.Frac)
+				eff.FlushFrac[ev.Model] = 1 - keep
 			case Kill:
 				for _, t := range expandTypes(ev.Type, types) {
 					n := ev.Count
@@ -410,7 +446,7 @@ func (t *Timeline) Active() bool {
 	}
 	for _, e := range t.effects {
 		if len(e.LoadScale) > 0 || len(e.SizeScale) > 0 || len(e.ShedFrac) > 0 ||
-			len(e.Killed) > 0 || len(e.DerateFrac) > 0 {
+			len(e.FlushFrac) > 0 || len(e.Killed) > 0 || len(e.DerateFrac) > 0 {
 			return true
 		}
 	}

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -181,6 +184,116 @@ func TestTimelineActive(t *testing.T) {
 	var nilTL *Timeline
 	if nilTL.Active() || nilTL.Steps() != 0 || nilTL.At(0).Load("x") != 1 {
 		t.Error("nil timeline must behave as a no-op")
+	}
+}
+
+// TestFlushEventValidation: the cache-flush event takes a fraction in
+// (0, 1] — a full flush (frac 1) is legal, a no-op or overfull one is
+// not.
+func TestFlushEventValidation(t *testing.T) {
+	good := Event{Kind: Flush, StartH: 0, EndH: 1, Frac: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("full flush rejected: %v", err)
+	}
+	for _, frac := range []float64{0, -0.5, 1.01} {
+		e := Event{Kind: Flush, StartH: 0, EndH: 1, Frac: frac}
+		if err := e.Validate(); err == nil {
+			t.Errorf("flush frac %g accepted", frac)
+		}
+	}
+}
+
+// TestFlushComposition: overlapping flushes compose like independent
+// invalidations — the surviving warmth is the product of what each
+// leaves — and the accessor folds the wildcard entry into the per-model
+// one.
+func TestFlushComposition(t *testing.T) {
+	s := Scenario{Events: []Event{
+		{Kind: Flush, StartH: 0, EndH: 1, Frac: 0.5},                     // all models
+		{Kind: Flush, StartH: 0, EndH: 1, Model: "DLRM-RMC1", Frac: 0.5}, // one model
+	}}
+	tl, err := Compile(s, 1, 3600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := tl.At(0)
+	if got := eff.Flush("DLRM-RMC1"); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("RMC1 flush = %g, want 0.75 (1 - 0.5*0.5 kept)", got)
+	}
+	if got := eff.Flush("DLRM-RMC2"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("RMC2 flush = %g, want 0.5 (wildcard only)", got)
+	}
+	if got := (Effects{}).Flush("DLRM-RMC1"); got != 0 {
+		t.Errorf("zero Effects flush = %g, want 0", got)
+	}
+	// A flush alone perturbs nothing the provisioner sees, but the
+	// timeline must still report active so the cache tier reacts.
+	if !tl.Active() {
+		t.Error("flush-only timeline reports inactive")
+	}
+	if !(Effects{}).SameFleetState(eff) {
+		t.Error("flushes must be invisible to the fleet-state comparison")
+	}
+}
+
+// TestCachestormScenario: the built-in cache-stampede drill resolves,
+// carries a flush event, and summarizes it legibly.
+func TestCachestormScenario(t *testing.T) {
+	s, err := Named("cachestorm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasFlush := false
+	for _, e := range s.Events {
+		if e.Kind == Flush {
+			hasFlush = true
+		}
+	}
+	if !hasFlush {
+		t.Fatal("cachestorm has no flush event")
+	}
+	if sum := s.Summary(); !strings.Contains(sum, "flush") || !strings.Contains(sum, "cache warmth") {
+		t.Errorf("summary does not describe the flush:\n%s", sum)
+	}
+}
+
+// TestParseEmptyScenarioFile: a present-but-zero-byte @file must fail
+// with a message naming the real problem, not the JSON decoder's
+// "unexpected end of JSON input".
+func TestParseEmptyScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Parse("@" + path)
+	if err == nil {
+		t.Fatal("empty scenario file accepted")
+	}
+	if !strings.Contains(err.Error(), "empty scenario file") || !strings.Contains(err.Error(), path) {
+		t.Errorf("unhelpful error for empty file: %v", err)
+	}
+	// Whitespace-only counts as empty too.
+	if err := os.WriteFile(path, []byte(" \n\t\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("@" + path); err == nil || !strings.Contains(err.Error(), "empty scenario file") {
+		t.Errorf("whitespace-only file: %v", err)
+	}
+	// A missing file still reports the OS error.
+	if _, err := Parse("@" + filepath.Join(dir, "nope.json")); err == nil || strings.Contains(err.Error(), "empty scenario file") {
+		t.Errorf("missing file: %v", err)
+	}
+	// And a valid file round-trips through the same path.
+	if err := os.WriteFile(path, []byte(`[{"kind":"flush","start_h":1,"end_h":2,"frac":0.9}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != Flush {
+		t.Errorf("parsed %+v", s)
 	}
 }
 

@@ -19,9 +19,22 @@ import (
 //	{"i":3,"k":"route","m":"DLRM-RMC1","q":81,"t":0.01153,"inst":4,"cand":[2,4],"n":2}
 //	{"i":3,"k":"complete","m":"DLRM-RMC1","q":81,"t":0.01153,"inst":4,"v":0.0061}
 type NDJSONWriter struct {
-	w   *bufio.Writer
-	c   io.Closer // closed by Close when the destination is a file
-	buf []byte
+	w    *bufio.Writer
+	c    io.Closer // closed by Close when the destination is a file
+	buf  []byte
+	only uint32 // kind bitmask; 0 = every kind (see Restrict)
+}
+
+// Restrict limits the writer to the given kinds; other events are
+// skipped. The fleet CLI's -record output uses it to write replayable
+// arrival traces (arrival + offer lines only) without paying for the
+// full lifecycle stream.
+func (nw *NDJSONWriter) Restrict(kinds ...Kind) *NDJSONWriter {
+	nw.only = 0
+	for _, k := range kinds {
+		nw.only |= 1 << uint(k)
+	}
+	return nw
 }
 
 // NewNDJSONWriter returns an NDJSON sink over w. If w is an io.Closer
@@ -43,6 +56,9 @@ func appendFloat(b []byte, f float64) []byte {
 func (nw *NDJSONWriter) WriteEvents(evs []Event) error {
 	for i := range evs {
 		ev := &evs[i]
+		if nw.only != 0 && nw.only&(1<<uint(ev.Kind)) == 0 {
+			continue
+		}
 		b := nw.buf[:0]
 		b = append(b, `{"i":`...)
 		b = strconv.AppendInt(b, int64(ev.Interval), 10)
@@ -62,7 +78,7 @@ func (nw *NDJSONWriter) WriteEvents(evs []Event) error {
 			b = append(b, `,"v":`...)
 			b = appendFloat(b, ev.Value)
 		}
-		if ev.Kind == KindArrival {
+		if ev.Kind == KindArrival || ev.Kind == KindOffer {
 			b = append(b, `,"aux":`...)
 			b = appendFloat(b, ev.Aux)
 		}
@@ -176,6 +192,11 @@ func (cw *ChromeWriter) WriteEvents(evs []Event) error {
 		case KindShed:
 			if err := cw.emit(`{"name":"shed %s","cat":"loss","ph":"i","s":"p","ts":%.3f,"pid":0,"tid":0,"args":{"query":%d,"frac":%.4f}}`,
 				ev.Model, cw.tsUS(ev.Interval, ev.TimeS), ev.Query, ev.Value); err != nil {
+				return err
+			}
+		case KindHit:
+			if err := cw.emit(`{"name":"hit %s","cat":"cache","ph":"i","s":"p","ts":%.3f,"pid":0,"tid":0,"args":{"query":%d}}`,
+				ev.Model, cw.tsUS(ev.Interval, ev.TimeS), ev.Query); err != nil {
 				return err
 			}
 		}

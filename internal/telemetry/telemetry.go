@@ -6,11 +6,16 @@ type Kind uint8
 
 // The event taxonomy, in pipeline order. A sampled query emits Arrival
 // first, then either Shed (rejected at the front door before any router
-// saw it), or Route (the routing decision, with the candidate set) and
+// saw it), Hit (served from the cache tier at cache latency — never
+// routed), or Route (the routing decision, with the candidate set) and
 // from there Enqueue and either Drop (bounded queue full / unservable)
 // or the service path: Batch (joined a forming batch; batched pools
 // only), Start and End (the service span) and Complete (with the
-// arrival-to-completion latency).
+// arrival-to-completion latency). Offer is per-(interval, model)
+// metadata rather than a query event: the offered load the interval
+// replayed, which is what lets an exported arrival trace re-provision
+// (and therefore replay) byte-identically on re-ingestion
+// (fleet.TraceSource).
 const (
 	KindArrival Kind = iota
 	KindShed
@@ -21,11 +26,26 @@ const (
 	KindEnd
 	KindComplete
 	KindDrop
+	KindOffer
+	KindHit
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"arrival", "shed", "route", "enqueue", "batch", "start", "end", "complete", "drop",
+	"offer", "hit",
+}
+
+// KindByName resolves a stable wire name ("arrival", "offer", ...)
+// back to its Kind — the inverse of Kind.String, used by trace readers
+// to validate the "k" field of re-ingested NDJSON lines.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 // String returns the kind's stable wire name (the "k" field of the
@@ -60,6 +80,11 @@ const MaxCandidates = 8
 //	End       Instance; Value = service span seconds
 //	Complete  Instance; Value = total latency seconds
 //	Drop      Instance = rejecting instance (−1 for an empty pool)
+//	Offer     Query = −1 (interval metadata, not a query); Value =
+//	          offered QPS of (interval, model); Aux = replayed slice
+//	          seconds
+//	Hit       Value = cache latency seconds (served from the cache
+//	          tier, never routed)
 type Event struct {
 	Interval int32
 	Kind     Kind
