@@ -321,6 +321,40 @@ func BenchmarkFleetDayBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRegions replays the two-region blackout day under the
+// spill geo policy: two engines stepped in lockstep, the geo router
+// moving overflow at every interval boundary, east dark for three
+// mid-day hours while west absorbs the evacuated traffic at +60 ms
+// RTT. CI gates it against BENCH_fleet.json alongside the
+// single-region fleet benchmarks — the lockstep orchestration and
+// per-interval routing must stay a thin layer over the per-region
+// replay cost they compose.
+func BenchmarkFleetRegions(b *testing.B) {
+	table, err := experiments.FleetTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		me, err := fleet.NewMultiEngine(
+			experiments.RegionsSpec(fleet.GeoSpill, experiments.Seed), fleet.WithTable(table))
+		if err != nil {
+			b.Fatal(err)
+		}
+		day, err := me.RunDay(me.Workloads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("regions fleet day: %d queries, %.2f%% drops, %d served remotely, %.1f violation min\n",
+				day.TotalQueries, day.DropFrac*100, day.SpillInServed, day.SLAViolationMin)
+		}
+		b.ReportMetric(float64(day.TotalQueries), "queries")
+		b.ReportMetric(float64(day.SpillInServed), "spill_served")
+		b.ReportMetric(day.DropFrac*100, "drop_pct")
+	}
+}
+
 func BenchmarkFig13Online_FleetReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig13Online(experiments.Seed)

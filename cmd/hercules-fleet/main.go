@@ -11,6 +11,7 @@
 //	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
 //	               [-scaler breach|prop|none] [-admission none|deadline]
 //	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
+//	               [-geo local|spill]
 //	               [-trace arrivals.ndjson] [-record arrivals.ndjson]
 //	               [-cache-hit 0.8] [-cache-latency 0.3] [-cache-fill 2000]
 //	               [-cache-cold]
@@ -40,6 +41,20 @@
 // JSON spec file (@events.json), or an inline JSON event array. Every
 // disruption run is paired with a baseline replay of the same router ×
 // policy so the report shows the divergence directly.
+//
+// A spec file with a "regions" list replays multi-region
+// (fleet.NewMultiEngine): every region runs its own fleet with its
+// own diurnal phase, and the -geo policy (or the spec's "geo" field)
+// moves load between them each interval — "local" keeps every region
+// on its own traffic, "spill" routes overflow and blackout
+// evacuations to remote regions with headroom, adding the
+// inter-region RTT to every remotely served query's latency. The
+// report's runs carry per-region results under "regions" next to the
+// global aggregate; -ndjson lines and metrics names are labelled with
+// the region. scenario "blackout" events (whole region offline,
+// survivors spiked by the flash-crowd factor) need a multi-region
+// spec. -record and -trace are single-region features and refuse a
+// regions spec.
 //
 // -record captures the run's arrival stream (every query plus each
 // interval's offered-load metadata) as an NDJSON trace; -trace feeds a
@@ -98,6 +113,7 @@ type ndjsonInterval struct {
 	Router   string `json:"router"`
 	Policy   string `json:"policy"`
 	Scenario string `json:"scenario"`
+	Region   string `json:"region,omitempty"`
 	fleet.IntervalStats
 }
 
@@ -123,6 +139,7 @@ type cliFlags struct {
 	policies  *string
 	scaler    *string
 	admission *string
+	geo       *string
 	scen      *string
 	listScen  *bool
 	trace     *string
@@ -174,6 +191,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 			"online autoscaler: none or a registered name ("+strings.Join(fleet.ScalerNames(), ", ")+")"),
 		admission: fs.String("admission", def.Admission,
 			"admission shedding: none or a registered name ("+strings.Join(fleet.AdmissionNames(), ", ")+")"),
+		geo: fs.String("geo", def.Geo,
+			"geo-routing policy for a multi-region spec ("+strings.Join(fleet.GeoPolicyNames(), ", ")+"; empty = local)"),
 		scen: fs.String("scenario", def.Scenario,
 			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array"),
 		listScen: fs.Bool("list-scenarios", false, "list the built-in scenarios and exit"),
@@ -240,6 +259,7 @@ func buildSpec(cf *cliFlags, fs *flag.FlagSet) (fleet.Spec, error) {
 		"fleet":         func(s *fleet.Spec) { s.Fleet = *cf.fleetName },
 		"scaler":        func(s *fleet.Spec) { s.Scaler = *cf.scaler },
 		"admission":     func(s *fleet.Spec) { s.Admission = *cf.admission },
+		"geo":           func(s *fleet.Spec) { s.Geo = *cf.geo },
 		"scenario":      func(s *fleet.Spec) { s.Scenario = *cf.scen },
 		"trace":         func(s *fleet.Spec) { s.Trace = *cf.trace },
 		"cache-hit":     func(s *fleet.Spec) { s.Cache.HitRate = *cf.cacheHit },
@@ -357,6 +377,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A multi-region spec replays through NewMultiEngine; the features
+	// that are inherently single-region fail fast here with a message
+	// naming the conflict rather than deep in the engine.
+	multiRegion := len(spec.Regions) > 1
+	if multiRegion {
+		if *cf.record != "" {
+			fatal(fmt.Errorf("-record captures a single region's arrivals; drop the regions or record per region"))
+		}
+		if spec.Trace != "" {
+			fatal(fmt.Errorf("recorded traces replay single-region; drop the regions or the trace"))
+		}
+	}
 	// A recorded trace replaces workload synthesis; its models drive
 	// the run (and the calibration below) unless -models pins them.
 	var traceSrc *fleet.TraceSource
@@ -458,35 +490,64 @@ func main() {
 					// re-reading the file per run.
 					engOpts = append(engOpts, fleet.WithTraceSource(traceSrc))
 				}
-				eng, err := fleet.NewEngine(run, engOpts...)
+				// The stream label is the run's resolved scenario name, not
+				// the raw argument (which may be @file.json or inline JSON)
+				// — and not the region engines' own scenario, which is
+				// always baseline (multi-region timelines come from
+				// CompileRegions, not the per-region spec).
+				runScen, err := scenario.Parse(run.Scenario)
 				if err != nil {
 					fatal(err)
 				}
-				if eng.Tracer != nil {
-					for _, s := range traceSinks {
-						eng.Tracer.AddSink(s)
+				// decorate attaches the per-run sinks to one engine; the
+				// multi-region path applies it per region with the region's
+				// name, the single path once with no label.
+				decorate := func(eng *fleet.Engine, region string) {
+					if eng.Tracer != nil {
+						for _, s := range traceSinks {
+							eng.Tracer.AddSink(s)
+						}
+					}
+					if metricsReg != nil {
+						eng.Observers = append(eng.Observers, fleet.NewRegionMetricsObserver(metricsReg, region))
+					}
+					if *cf.ndjson {
+						// Each line carries its run's identity — the sweep
+						// multiplexes every run onto one stream.
+						line := ndjsonInterval{Router: router, Policy: pol, Scenario: runScen.Name, Region: region}
+						eng.Observers = append(eng.Observers, fleet.ObserverFunc(func(ist fleet.IntervalStats) {
+							line.IntervalStats = ist
+							ndjsonEnc.Encode(line)
+						}))
 					}
 				}
-				if metricsReg != nil {
-					eng.Observers = append(eng.Observers, fleet.NewMetricsObserver(metricsReg))
-				}
-				if *cf.ndjson {
-					// Each line carries its run's identity — the sweep
-					// multiplexes every run onto one stream. The scenario
-					// label is the resolved name, not the raw -scenario
-					// argument (which may be @file.json or inline JSON).
-					line := ndjsonInterval{Router: router, Policy: pol, Scenario: eng.Scenario.Name}
-					eng.Observers = append(eng.Observers, fleet.ObserverFunc(func(ist fleet.IntervalStats) {
-						line.IntervalStats = ist
-						ndjsonEnc.Encode(line)
-					}))
-				}
-				day, err := eng.RunDay(eng.Workloads())
-				if err != nil {
-					fatal(err)
+				var day fleet.DayResult
+				if multiRegion {
+					me, err := fleet.NewMultiEngine(run, engOpts...)
+					if err != nil {
+						fatal(err)
+					}
+					for i, eng := range me.Engines {
+						decorate(eng, me.Spec.Regions[i].Name)
+					}
+					if day, err = me.RunDay(me.Workloads()); err != nil {
+						fatal(err)
+					}
+				} else {
+					eng, err := fleet.NewEngine(run, engOpts...)
+					if err != nil {
+						fatal(err)
+					}
+					decorate(eng, "")
+					if day, err = eng.RunDay(eng.Workloads()); err != nil {
+						fatal(err)
+					}
 				}
 				if *cf.summary || *cf.ndjson {
 					day.Steps = nil
+					for i := range day.Regions {
+						day.Regions[i].Steps = nil
+					}
 				}
 				rep.Runs = append(rep.Runs, day)
 				fmt.Fprintf(os.Stderr, "%s/%s [%s]: %.1f violation min, %.2f%% drops, %.1f MJ\n",
@@ -587,9 +648,29 @@ func loadOrCalibrateTable(path string, spec fleet.Spec, seed int64) (*profiler.T
 		}
 		return profiler.FromEntries(profiler.Hercules, entries), nil
 	}
-	fl, err := hw.NamedFleet(spec.Fleet)
-	if err != nil {
-		return nil, err
+	// Calibrate over the union of server types across every fleet the
+	// spec names — the top-level one plus each region's — so a
+	// multi-region run resolves every (model, type) pair it can route
+	// to from one shared table.
+	names := []string{spec.Fleet}
+	for _, r := range spec.Regions {
+		if r.Fleet != "" {
+			names = append(names, r.Fleet)
+		}
+	}
+	seen := make(map[string]bool)
+	var types []hw.Server
+	for _, fn := range names {
+		fl, err := hw.NamedFleet(fn)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range fl.Types {
+			if !seen[st.Type] {
+				seen[st.Type] = true
+				types = append(types, st)
+			}
+		}
 	}
 	fmt.Fprintln(os.Stderr, "no -table given; calibrating serving configurations (seconds)...")
 	var models []*model.Model
@@ -600,7 +681,7 @@ func loadOrCalibrateTable(path string, spec fleet.Spec, seed int64) (*profiler.T
 		}
 		models = append(models, m)
 	}
-	return fleet.CalibrateTable(models, fl.Types, seed)
+	return fleet.CalibrateTable(models, types, seed)
 }
 
 func fatal(err error) {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hercules/internal/fleet"
+)
+
+func TestFigRegions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays four region-days of traffic")
+	}
+	t.Parallel()
+	r, err := FigRegions(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []struct {
+		name string
+		d    fleet.DayResult
+	}{{"local", r.Local}, {"spill", r.Spill}} {
+		if day.d.TotalQueries <= 0 {
+			t.Fatalf("%s: no queries replayed", day.name)
+		}
+		if len(day.d.Regions) != 2 {
+			t.Fatalf("%s: %d region results, want 2", day.name, len(day.d.Regions))
+		}
+	}
+	// The headline claim: during the blackout, spill serves traffic the
+	// local-only policy drops — strictly fewer drops, remote serving
+	// actually happened, and the outage hurts less in violation
+	// minutes.
+	if r.Local.SpillInServed != 0 {
+		t.Errorf("local-only day spilled %d queries", r.Local.SpillInServed)
+	}
+	if r.Spill.SpillInServed == 0 {
+		t.Error("spill day served no remote queries")
+	}
+	if r.Spill.DropFrac >= r.Local.DropFrac {
+		t.Errorf("spill must strictly reduce the drop fraction: %.4f vs local %.4f",
+			r.Spill.DropFrac, r.Local.DropFrac)
+	}
+	if r.Spill.SLAViolationMin > r.Local.SLAViolationMin {
+		t.Errorf("spill worsened SLA violation minutes: %.1f vs local %.1f",
+			r.Spill.SLAViolationMin, r.Local.SLAViolationMin)
+	}
+	// The blackout must actually bite in the local-only world: east
+	// drops a visible share of its day.
+	var localEast fleet.DayResult
+	for _, reg := range r.Local.Regions {
+		if reg.Region == "east" {
+			localEast = reg
+		}
+	}
+	if localEast.DropFrac < 0.01 {
+		t.Errorf("local-only east drop fraction %.4f — the outage left no mark", localEast.DropFrac)
+	}
+	out := r.Render()
+	for _, want := range []string{"Multi-region blackout failover", "GLOBAL", "east", "west", "spill vs local"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

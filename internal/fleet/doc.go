@@ -23,11 +23,13 @@
 //     carry. Every CLI, experiment driver and example builds engines
 //     this way, so a run is reproducible from one JSON document;
 //   - the policy registries — RegisterRouter / RegisterScaler /
-//     RegisterAdmission make routing, autoscaling and admission
-//     policies constructible by name; the built-ins (routers rr,
-//     least, p2c, hetero; scalers breach, prop; admission deadline)
-//     register themselves here, and a policy registered by any other
-//     package is immediately selectable by every Spec and CLI flag;
+//     RegisterAdmission / RegisterGeoPolicy make routing, autoscaling,
+//     admission and geo-routing policies constructible by name (one
+//     generic registry underneath, so all four axes share semantics);
+//     the built-ins (routers rr, least, p2c, hetero; scalers breach,
+//     prop; admission deadline; geo local, spill) register themselves
+//     here, and a policy registered by any other package is
+//     immediately selectable by every Spec and CLI flag;
 //   - Engine / RunDay — replay a day of cluster.Workload traces and
 //     return per-interval and aggregate DayResult metrics;
 //   - Observer — the per-interval streaming hook: RunDay pushes each
@@ -60,7 +62,21 @@
 //     per-model warmth state that scenario flush/mixshift events
 //     degrade and misses re-warm. Provisioning sizes for the miss
 //     stream using the previous interval's realized hit rate, which
-//     is exactly why a flush storm hurts a warm-provisioned fleet.
+//     is exactly why a flush storm hurts a warm-provisioned fleet;
+//   - RegionSpec / NewMultiEngine — a Spec with a regions list becomes
+//     a multi-region fleet: one engine per region (own fleet, diurnal
+//     phase offset, RTT matrix), replayed in lockstep while the
+//     registered GeoPolicy redistributes each interval's offered load.
+//     The spill policy keeps traffic home until offered load nears
+//     capacity, sheds overflow to the nearest survivor with headroom,
+//     and evacuates blacked-out regions entirely; remotely served
+//     queries pay the inter-region RTT and are accounted separately
+//     (SpillInServed / SpillInDropped). Per-region DayResults merge
+//     into the global aggregate via MergeDays (sums, max-of-max tails,
+//     query-weighted mean tails — associative up to float rounding).
+//     Spec.Normalize gives legacy specs one implicit region named
+//     "local", and a one-region run delegates to the plain engine,
+//     byte-identical to the committed goldens.
 //
 // Dynamic batching (Options.MaxBatch > 1) turns each instance into a
 // batcher: queued queries coalesce into batches that launch when full,

@@ -153,6 +153,9 @@ type Engine struct {
 	instSeq   int
 	baseOverR float64
 	scratch   replayScratch
+	// run is the in-flight day's cross-interval state (beginDay sets
+	// it, endDay clears it); an Engine replays one day at a time.
+	run *dayRun
 
 	// cacheActive gates every cache branch for one RunDay; the maps are
 	// the tier's per-model state (see cache.go).
@@ -269,6 +272,14 @@ type IntervalStats struct {
 	Reprovisioned       bool    `json:"reprovisioned"`
 	EarlyReprovision    bool    `json:"early_reprovision"`
 	Boosted             bool    `json:"boosted"`
+	// SpillInServed / SpillInDropped count the remote-origin queries a
+	// geo-router spilled into this region's fleet (served with their
+	// inter-region RTT added to latency, or dropped here); SpillOutQPS
+	// is the offered load the geo-router sent away to other regions
+	// this interval. All zero (and omitted) outside multi-region runs.
+	SpillInServed  int     `json:"spill_in_served,omitempty"`
+	SpillInDropped int     `json:"spill_in_dropped,omitempty"`
+	SpillOutQPS    float64 `json:"spill_out_qps,omitempty"`
 }
 
 // DayResult aggregates a full replay: the fold of the per-interval
@@ -282,8 +293,13 @@ type DayResult struct {
 	Admission string `json:"admission,omitempty"`
 	// Scenario names the injected scenario timeline ("baseline" when
 	// the engine replayed the unperturbed diurnal day).
-	Scenario string          `json:"scenario"`
-	Steps    []IntervalStats `json:"intervals"`
+	Scenario string `json:"scenario"`
+	// Region names the regional fleet this result replayed (empty for
+	// single-region runs); Geo names the geo-routing policy of the
+	// multi-region run it belongs to.
+	Region string          `json:"region,omitempty"`
+	Geo    string          `json:"geo,omitempty"`
+	Steps  []IntervalStats `json:"intervals"`
 
 	TotalQueries int `json:"total_queries"`
 	TotalDrops   int `json:"total_drops"`
@@ -303,6 +319,19 @@ type DayResult struct {
 	Reprovisions        int     `json:"reprovisions"`
 	EarlyReprovisions   int     `json:"early_reprovisions"`
 	AutoscaleEvents     int     `json:"autoscale_events"`
+	// BoostedIntervals counts intervals replayed with autoscaler boost
+	// headroom in force — the day-level view of IntervalStats.Boosted
+	// (per-interval flags don't survive a cross-engine merge; a count
+	// does).
+	BoostedIntervals int `json:"boosted_intervals,omitempty"`
+	// SpillInServed / SpillInDropped aggregate the remote-origin
+	// queries geo-routing spilled into this result's fleet.
+	SpillInServed  int `json:"spill_in_served,omitempty"`
+	SpillInDropped int `json:"spill_in_dropped,omitempty"`
+	// Regions holds the per-region results of a multi-region replay
+	// (MultiEngine.RunDay); the enclosing DayResult is their global
+	// merge. Empty for single-region runs.
+	Regions []DayResult `json:"regions,omitempty"`
 }
 
 // RunDay replays the workloads' aligned diurnal traces end to end and
@@ -317,27 +346,69 @@ type DayResult struct {
 // availability. Derates are never reported to the control plane: only
 // tail latency (and hence the autoscaler) can see them.
 func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
-	res := DayResult{Router: e.Router, Policy: e.Provisioner.Kind.String(), Scenario: "baseline"}
+	if err := e.beginDay(ws); err != nil {
+		res := e.run.res
+		e.run = nil
+		return res, err
+	}
+	for i := 0; i < e.run.steps; i++ {
+		e.stepInterval(i, nil)
+	}
+	return e.endDay(), nil
+}
+
+// dayRun is one in-flight RunDay's cross-interval state. Factoring it
+// out of the loop lets the replay be driven two ways: RunDay's own
+// beginDay → stepInterval × steps → endDay sequence, or interval-by-
+// interval by MultiEngine, which interleaves the regions' engines so a
+// geo-router can move load between them at every step.
+type dayRun struct {
+	ws    []cluster.Workload
+	res   DayResult
+	agg   *dayAggregator
+	sinks []Observer
+	steps int
+	stepS float64
+	every int
+
+	insts        map[string][]*Instance
+	active       cluster.StepResult
+	earlyPending bool
+	extraR       float64
+	// knownFleet is the control plane's (detection-lagged) view of
+	// scenario fleet health: kills observed up to the previous interval.
+	knownFleet scenario.Effects
+}
+
+// beginDay validates the workloads, resolves policies, compiles the
+// scenario, seeds the per-day state and starts the worker pool. Every
+// error path leaves e.run set (its res carries the run's labels) and
+// the pool unstarted; on success the caller owns a stepInterval ×
+// steps → endDay obligation.
+func (e *Engine) beginDay(ws []cluster.Workload) error {
+	e.run = &dayRun{ws: ws}
+	r := e.run
+	r.res = DayResult{Router: e.Router, Policy: e.Provisioner.Kind.String(), Scenario: "baseline"}
 	if e.Scaler != nil {
-		res.Scaler = e.Scaler.Name()
+		r.res.Scaler = e.Scaler.Name()
 	}
 	if e.Admission != nil {
-		res.Admission = e.Admission.Name()
+		r.res.Admission = e.Admission.Name()
 	}
 	if len(ws) == 0 {
-		return res, fmt.Errorf("fleet: no workloads")
+		return fmt.Errorf("fleet: no workloads")
 	}
 	if e.Timeline == nil && e.Scenario.Active() {
 		if err := e.ApplyScenario(e.Scenario, ws); err != nil {
-			return res, err
+			return err
 		}
 	}
 	if e.Timeline != nil && e.Timeline.Name != "" {
-		res.Scenario = e.Timeline.Name
+		r.res.Scenario = e.Timeline.Name
 	}
 	var err error
 	if e.newRouter, err = RouterFactory(e.Router); err != nil {
-		return res, err
+		return err
 	}
 	if e.Service == nil {
 		e.Service = NewSimService(e.Table)
@@ -346,7 +417,7 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 	for _, w := range ws {
 		m, err := model.ByName(w.Model, model.Prod)
 		if err != nil {
-			return res, fmt.Errorf("fleet: %w", err)
+			return fmt.Errorf("fleet: %w", err)
 		}
 		e.models[w.Model] = m
 	}
@@ -369,17 +440,18 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 		steps = min(steps, w.Trace.Steps())
 	}
 	if steps == 0 {
-		return res, fmt.Errorf("fleet: empty traces")
+		return fmt.Errorf("fleet: empty traces")
 	}
 	if e.TraceSrc != nil && e.TraceSrc.Steps() < steps {
-		return res, fmt.Errorf("fleet: trace has %d intervals, workloads span %d",
+		return fmt.Errorf("fleet: trace has %d intervals, workloads span %d",
 			e.TraceSrc.Steps(), steps)
 	}
-	stepS := ws[0].Trace.StepS
-	every := max(e.Opts.ReprovisionEvery, 1)
+	r.steps = steps
+	r.stepS = ws[0].Trace.StepS
+	r.every = max(e.Opts.ReprovisionEvery, 1)
 
 	// One bounded worker pool serves the whole day: started here, fed a
-	// batch of independent shards per interval, drained at return. Shard
+	// batch of independent shards per interval, drained by endDay. Shard
 	// RNG streams are seeded per (interval, model, shard), so scheduling
 	// order cannot leak into results.
 	if !e.Opts.Sequential {
@@ -396,94 +468,132 @@ func (e *Engine) RunDay(ws []cluster.Workload) (DayResult, error) {
 				}
 			}(e.scratch.work)
 		}
-		defer func() {
-			close(e.scratch.work)
-			e.scratch.work = nil
-		}()
 	}
 
 	// The DayResult aggregation is itself an Observer on the interval
 	// stream — the first in line, ahead of any caller-registered sinks,
 	// so external observers see exactly what the aggregate is built
 	// from.
-	agg := &dayAggregator{res: &res}
-	sinks := append([]Observer{agg}, e.Observers...)
+	r.agg = &dayAggregator{res: &r.res}
+	r.sinks = append([]Observer{r.agg}, e.Observers...)
+	return nil
+}
 
-	var insts map[string][]*Instance
-	var active cluster.StepResult
-	earlyPending := false
-	extraR := 0.0
-	// knownFleet is the control plane's (detection-lagged) view of
-	// scenario fleet health: kills observed up to the previous interval.
-	knownFleet := scenario.Effects{}
-	for i := 0; i < steps; i++ {
-		eff := e.Timeline.At(i)
-		loads := make(map[string]float64, len(ws))
-		for _, w := range ws {
-			loads[w.Model] += w.Trace.LoadsQPS[i]
-		}
-		if e.TraceSrc == nil {
-			// Replayed traces carry post-scenario loads (their offers were
-			// recorded after spike scaling): only synthesized days apply
-			// the timeline's traffic scaling here.
-			for m := range loads {
-				loads[m] *= eff.Load(m)
-			}
-		}
-		scheduled := i%every == 0
-		reprovision := i == 0 || scheduled || earlyPending
-		if reprovision {
-			e.Provisioner.OverProvisionR = e.baseOverR + extraR
-			e.Provisioner.Unavailable = knownFleet.Killed
-			provLoads := loads
-			if e.cacheActive {
-				// The control plane provisions for the backend (miss)
-				// load: offered load net of each model's lagged measured
-				// hit rate. The lag is what turns a cache flush into a
-				// storm — the fleet stays sized for the warm-cache miss
-				// rate until the next re-provision learns otherwise.
-				provLoads = e.cacheMissLoads(loads)
-			}
-			active = e.Provisioner.Step(provLoads)
-			insts = e.buildInstances(active.Alloc)
-		}
-
-		pools, dead := e.effectiveInstances(insts, eff)
-		ist := e.replayInterval(i, stepS, loads, pools, eff)
-		ist.Reprovisioned = reprovision
-		ist.EarlyReprovision = reprovision && earlyPending && !scheduled
-		// extraR still holds the previous IntervalEnd's return — the
-		// boost headroom in force for exactly this interval. (Consulting
-		// Scaler.Boosted() here would read boostLeft one step ahead of
-		// the interval being reported.)
-		ist.Boosted = extraR > 0
-		ist.ActiveServers = active.ActiveServers
-		ist.DeadServers = dead
-		ist.ProvisionedKW = active.ProvisionedPowerW / 1e3
-		ist.ProvisionedEnergyKJ = active.ProvisionedPowerW * stepS / 1e3
-		for _, o := range sinks {
-			o.ObserveInterval(ist)
-		}
-
-		earlyPending, extraR = false, 0
-		if e.Scaler != nil {
-			earlyPending, extraR = e.Scaler.IntervalEnd()
-		}
-		if !eff.SameFleetState(knownFleet) {
-			// Health checks noticed servers dying or returning during
-			// this interval: re-provision at the next boundary against
-			// the new availability.
-			knownFleet = eff
-			earlyPending = true
+// offeredLoads sums interval i's offered QPS per model, with the
+// scenario's traffic scaling applied (replayed traces carry
+// post-scenario loads — their offers were recorded after spike
+// scaling — so only synthesized days scale here).
+func (e *Engine) offeredLoads(i int, eff scenario.Effects) map[string]float64 {
+	loads := make(map[string]float64, len(e.run.ws))
+	for _, w := range e.run.ws {
+		loads[w.Model] += w.Trace.LoadsQPS[i]
+	}
+	if e.TraceSrc == nil {
+		for m := range loads {
+			loads[m] *= eff.Load(m)
 		}
 	}
-	agg.finish(steps)
+	return loads
+}
+
+// geoAdjust is one region's geo-routing outcome for one interval: the
+// fraction of home load kept local, the remote-origin load arriving
+// per model, the inbound-weighted mean inter-region RTT those remote
+// queries pay on top of serving latency, and the home load routed
+// away. nil means no geo layer — the interval replays exactly as a
+// single-region day.
+type geoAdjust struct {
+	keep    float64
+	inbound map[string]float64
+	rttS    float64
+	outQPS  float64
+}
+
+// stepInterval replays one trace interval against the current fleet
+// state: re-provision if due, apply scenario fleet effects, replay the
+// slice, decorate and publish the interval, and latch the autoscaler
+// and fleet-health signals for the next boundary. Must be called with
+// consecutive i after beginDay.
+func (e *Engine) stepInterval(i int, adj *geoAdjust) IntervalStats {
+	r := e.run
+	eff := e.Timeline.At(i)
+	loads := e.offeredLoads(i, eff)
+	if adj != nil {
+		for m := range loads {
+			loads[m] *= adj.keep
+		}
+		for m, add := range adj.inbound {
+			loads[m] += add
+		}
+	}
+	scheduled := i%r.every == 0
+	reprovision := i == 0 || scheduled || r.earlyPending
+	if reprovision {
+		e.Provisioner.OverProvisionR = e.baseOverR + r.extraR
+		e.Provisioner.Unavailable = r.knownFleet.Killed
+		provLoads := loads
+		if e.cacheActive {
+			// The control plane provisions for the backend (miss)
+			// load: offered load net of each model's lagged measured
+			// hit rate. The lag is what turns a cache flush into a
+			// storm — the fleet stays sized for the warm-cache miss
+			// rate until the next re-provision learns otherwise.
+			provLoads = e.cacheMissLoads(loads)
+		}
+		r.active = e.Provisioner.Step(provLoads)
+		r.insts = e.buildInstances(r.active.Alloc)
+	}
+
+	pools, dead := e.effectiveInstances(r.insts, eff)
+	ist := e.replayInterval(i, r.stepS, loads, pools, eff, adj)
+	ist.Reprovisioned = reprovision
+	ist.EarlyReprovision = reprovision && r.earlyPending && !scheduled
+	// extraR still holds the previous IntervalEnd's return — the
+	// boost headroom in force for exactly this interval. (Consulting
+	// Scaler.Boosted() here would read boostLeft one step ahead of
+	// the interval being reported.)
+	ist.Boosted = r.extraR > 0
+	ist.ActiveServers = r.active.ActiveServers
+	ist.DeadServers = dead
+	ist.ProvisionedKW = r.active.ProvisionedPowerW / 1e3
+	ist.ProvisionedEnergyKJ = r.active.ProvisionedPowerW * r.stepS / 1e3
+	if adj != nil {
+		ist.SpillOutQPS = adj.outQPS
+	}
+	for _, o := range r.sinks {
+		o.ObserveInterval(ist)
+	}
+
+	r.earlyPending, r.extraR = false, 0
 	if e.Scaler != nil {
-		res.AutoscaleEvents = e.Scaler.TriggerCount()
+		r.earlyPending, r.extraR = e.Scaler.IntervalEnd()
+	}
+	if !eff.SameFleetState(r.knownFleet) {
+		// Health checks noticed servers dying or returning during
+		// this interval: re-provision at the next boundary against
+		// the new availability.
+		r.knownFleet = eff
+		r.earlyPending = true
+	}
+	return ist
+}
+
+// endDay closes the worker pool, finalizes the aggregation and
+// restores the provisioner, returning the day's result.
+func (e *Engine) endDay() DayResult {
+	r := e.run
+	if e.scratch.work != nil {
+		close(e.scratch.work)
+		e.scratch.work = nil
+	}
+	r.agg.finish(r.steps)
+	if e.Scaler != nil {
+		r.res.AutoscaleEvents = e.Scaler.TriggerCount()
 	}
 	e.Provisioner.OverProvisionR = e.baseOverR
 	e.Provisioner.Unavailable = nil
-	return res, nil
+	e.run = nil
+	return r.res
 }
 
 // effectiveInstances applies a scenario's fleet effects to the
@@ -748,6 +858,19 @@ type shardWork struct {
 	cacheLatS   float64
 	cacheStream uint64
 
+	// Geo spill: remoteFrac > 0 marks that fraction of the stream as
+	// remote-origin queries a geo-router spilled into this region. Like
+	// cache hits, membership is a deterministic Bernoulli draw (on
+	// remoteStream) hashed from the query's identity, so shard layout
+	// can never change which queries are remote. Remote queries pay
+	// remoteRTTS on top of serving (or cache-hit) latency and are
+	// counted separately served/dropped.
+	remoteFrac    float64
+	remoteRTTS    float64
+	remoteStream  uint64
+	remoteServed  int
+	remoteDropped int
+
 	// trace stages this shard's sampled lifecycle events (single
 	// writer: exactly this shard during the interval); the engine
 	// drains it in deterministic shard order afterwards. traceOn gates
@@ -778,6 +901,8 @@ func (w *shardWork) reset(windows int, useSketch bool) {
 	w.dropped = 0
 	w.hits = 0
 	w.cacheHR = 0
+	w.remoteFrac, w.remoteRTTS = 0, 0
+	w.remoteServed, w.remoteDropped = 0, 0
 	w.windows = windows
 	w.traceOn = false
 	w.useSketch = useSketch
@@ -829,18 +954,19 @@ func (w *shardWork) observe(wi int, latS float64) {
 }
 
 // cacheServe runs one query through the cache tier: a hit completes at
-// cache latency, counts as served, and never reaches a router (nor a
+// cache latency (plus the query's inter-region RTT when it arrived by
+// geo spill), counts as served, and never reaches a router (nor a
 // drop — the tier sits ahead of the pool-empty check). Returns whether
 // the query was served there.
-func (w *shardWork) cacheServe(q workload.Query, wi int, sampled bool) bool {
+func (w *shardWork) cacheServe(q workload.Query, wi int, sampled bool, rttS float64) bool {
 	if w.cacheHR <= 0 || !cacheHit(w.cacheStream, q.ID, w.cacheHR) {
 		return false
 	}
 	w.hits++
-	w.observe(wi, w.cacheLatS)
+	w.observe(wi, w.cacheLatS+rttS)
 	if sampled {
 		ev := w.trace.Emit(telemetry.KindHit, q.ID, q.ArrivalS)
-		ev.Value = w.cacheLatS
+		ev.Value = w.cacheLatS + rttS
 	}
 	return true
 }
@@ -876,18 +1002,29 @@ func (w *shardWork) run() {
 	trouter, _ := router.(TracedRouter)
 	for _, q := range w.queries {
 		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		remote := w.remoteFrac > 0 && cacheHit(w.remoteStream, q.ID, w.remoteFrac)
+		rtt := 0.0
+		if remote {
+			rtt = w.remoteRTTS
+		}
 		sampled := w.traceOn && w.trace.Sampled(q.ID)
 		if sampled {
 			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
 			ev.Value = float64(q.Size)
 			ev.Aux = q.SparseScale
 		}
-		if w.cacheServe(q, wi, sampled) {
+		if w.cacheServe(q, wi, sampled, rtt) {
+			if remote {
+				w.remoteServed++
+			}
 			continue
 		}
 		if len(w.insts) == 0 {
 			w.dropped++
 			w.winDrops[wi]++
+			if remote {
+				w.remoteDropped++
+			}
 			if sampled {
 				w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
 			}
@@ -914,6 +1051,9 @@ func (w *shardWork) run() {
 		if drop {
 			w.dropped++
 			w.winDrops[wi]++
+			if remote {
+				w.remoteDropped++
+			}
 			if sampled {
 				ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
 				ev.Instance = int32(in.ID)
@@ -923,7 +1063,10 @@ func (w *shardWork) run() {
 		if sampled {
 			w.traceServed(q.ID, in.ID, q.ArrivalS, start, done, 1)
 		}
-		w.observe(wi, done-q.ArrivalS)
+		if remote {
+			w.remoteServed++
+		}
+		w.observe(wi, done-q.ArrivalS+rtt)
 	}
 }
 
@@ -943,18 +1086,29 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 	trouter, _ := router.(TracedRouter)
 	for _, q := range w.queries {
 		wi := stats.ClampInt(int(q.ArrivalS/w.windowW), 0, w.windows-1)
+		remote := w.remoteFrac > 0 && cacheHit(w.remoteStream, q.ID, w.remoteFrac)
+		rtt := 0.0
+		if remote {
+			rtt = w.remoteRTTS
+		}
 		sampled := w.traceOn && w.trace.Sampled(q.ID)
 		if sampled {
 			ev := w.trace.Emit(telemetry.KindArrival, q.ID, q.ArrivalS)
 			ev.Value = float64(q.Size)
 			ev.Aux = q.SparseScale
 		}
-		if w.cacheServe(q, wi, sampled) {
+		if w.cacheServe(q, wi, sampled, rtt) {
+			if remote {
+				w.remoteServed++
+			}
 			continue
 		}
 		if len(w.insts) == 0 {
 			w.dropped++
 			w.winDrops[wi]++
+			if remote {
+				w.remoteDropped++
+			}
 			if sampled {
 				w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
 			}
@@ -982,6 +1136,9 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 			if drop {
 				w.dropped++
 				w.winDrops[wi]++
+				if remote {
+					w.remoteDropped++
+				}
 				if sampled {
 					ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
 					ev.Instance = int32(in.ID)
@@ -991,7 +1148,10 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 			if sampled {
 				w.traceServed(q.ID, in.ID, q.ArrivalS, start, done, 1)
 			}
-			w.observe(wi, done-q.ArrivalS)
+			if remote {
+				w.remoteServed++
+			}
+			w.observe(wi, done-q.ArrivalS+rtt)
 			continue
 		}
 		comps, drop := in.ArriveBatched(q.ID, q.ArrivalS, q.Size, q.SparseScale, w.comps[:0])
@@ -999,6 +1159,9 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 		if drop {
 			w.dropped++
 			w.winDrops[wi]++
+			if remote {
+				w.remoteDropped++
+			}
 			if sampled {
 				ev := w.trace.Emit(telemetry.KindDrop, q.ID, q.ArrivalS)
 				ev.Instance = int32(in.ID)
@@ -1031,10 +1194,18 @@ func (w *shardWork) runBatched(router Router, rng *rand.Rand) {
 // record buckets a dispatch's completions into observation windows by
 // arrival instant, and emits the deferred service events of sampled
 // members (all completions in one drain come from the same instance).
+// A completion's remote-origin verdict re-draws on its query ID — the
+// same draw its arrival made — so deferred dispatch cannot change
+// which queries pay RTT.
 func (w *shardWork) record(instID int, comps []Completion) {
 	for _, c := range comps {
 		wi := stats.ClampInt(int(c.ArrivalS/w.windowW), 0, w.windows-1)
-		w.observe(wi, c.DoneS-c.ArrivalS)
+		rtt := 0.0
+		if w.remoteFrac > 0 && cacheHit(w.remoteStream, c.ID, w.remoteFrac) {
+			rtt = w.remoteRTTS
+			w.remoteServed++
+		}
+		w.observe(wi, c.DoneS-c.ArrivalS+rtt)
 		if w.traceOn && w.trace.Sampled(c.ID) {
 			w.traceServed(c.ID, instID, c.ArrivalS, c.StartS, c.DoneS, c.Batch)
 		}
@@ -1046,8 +1217,9 @@ func (w *shardWork) record(instID int, comps []Completion) {
 // traffic effects: query-size mix shifts rescale each generator's size
 // distribution, and shed fractions thin the admitted stream before
 // routing (loads arrive already scaled by the caller; fleet effects are
-// already baked into insts).
-func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64, insts map[string][]*Instance, eff scenario.Effects) IntervalStats {
+// already baked into insts). A non-nil adj marks the inbound share of
+// each model's load as remote-origin geo spill paying adj.rttS.
+func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64, insts map[string][]*Instance, eff scenario.Effects, adj *geoAdjust) IntervalStats {
 	ist := IntervalStats{
 		Index:      idx,
 		TimeH:      float64(idx) * stepS / 3600,
@@ -1112,6 +1284,13 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		if e.cacheActive {
 			cacheHR = e.cacheAdvance(m, eff)
 		}
+		remoteFrac, remoteRTTS := 0.0, 0.0
+		var remoteStream uint64
+		if adj != nil && adj.inbound[m] > 0 && loads[m] > 0 {
+			remoteFrac = math.Min(adj.inbound[m]/loads[m], 1)
+			remoteRTTS = adj.rttS
+			remoteStream = remoteStreamSeed(e.Opts.Seed, idx, mh)
+		}
 		n := max(min(shardCap, len(pool)), 1)
 		starts[mi] = len(scr.tasks)
 		for s := 0; s < n; s++ {
@@ -1127,6 +1306,9 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 			sh.cacheHR = cacheHR
 			sh.cacheLatS = cacheLatS
 			sh.cacheStream = cacheStreamSeed(e.Opts.Seed, idx, mh)
+			sh.remoteFrac = remoteFrac
+			sh.remoteRTTS = remoteRTTS
+			sh.remoteStream = remoteStream
 			if tr != nil {
 				sh.trace.Arm(tr, idx, m, mh)
 				sh.traceOn = true
@@ -1293,6 +1475,8 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				mQueries += len(sh.queries)
 				mDrops += sh.dropped
 				mHits += sh.hits
+				ist.SpillInServed += sh.remoteServed
+				ist.SpillInDropped += sh.remoteDropped
 			}
 			ist.Queries += mQueries
 			ist.Drops += mDrops
@@ -1338,6 +1522,8 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				mQueries += len(sh.queries)
 				mDrops += sh.dropped
 				mHits += sh.hits
+				ist.SpillInServed += sh.remoteServed
+				ist.SpillInDropped += sh.remoteDropped
 			}
 			ist.Queries += mQueries
 			ist.Drops += mDrops

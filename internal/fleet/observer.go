@@ -32,18 +32,32 @@ func (f ObserverFunc) ObserveInterval(ist IntervalStats) { f(ist) }
 // DayResult aggregation consume. Handles are resolved once here, so
 // the per-interval update never touches the registry's maps.
 func NewMetricsObserver(reg *telemetry.Registry) Observer {
-	intervals := reg.Counter("fleet_intervals_total")
-	queries := reg.Counter("fleet_queries_total")
-	drops := reg.Counter("fleet_drops_total")
-	shed := reg.Counter("fleet_shed_total")
-	hits := reg.Counter("fleet_cache_hits_total")
-	breached := reg.Counter("fleet_windows_breached_total")
-	offered := reg.Gauge("fleet_offered_qps")
-	servers := reg.Gauge("fleet_active_servers")
-	kw := reg.Gauge("fleet_provisioned_kw")
-	p50 := reg.Histogram("fleet_interval_p50_ms")
-	p95 := reg.Histogram("fleet_interval_p95_ms")
-	p99 := reg.Histogram("fleet_interval_p99_ms")
+	return NewRegionMetricsObserver(reg, "")
+}
+
+// NewRegionMetricsObserver is NewMetricsObserver with every metric
+// name suffixed by a {region="..."} label, so the regions of a
+// multi-region replay share one registry without colliding. An empty
+// region is the unlabelled single-region namespace.
+func NewRegionMetricsObserver(reg *telemetry.Registry, region string) Observer {
+	name := func(base string) string {
+		if region == "" {
+			return base
+		}
+		return base + `{region="` + region + `"}`
+	}
+	intervals := reg.Counter(name("fleet_intervals_total"))
+	queries := reg.Counter(name("fleet_queries_total"))
+	drops := reg.Counter(name("fleet_drops_total"))
+	shed := reg.Counter(name("fleet_shed_total"))
+	hits := reg.Counter(name("fleet_cache_hits_total"))
+	breached := reg.Counter(name("fleet_windows_breached_total"))
+	offered := reg.Gauge(name("fleet_offered_qps"))
+	servers := reg.Gauge(name("fleet_active_servers"))
+	kw := reg.Gauge(name("fleet_provisioned_kw"))
+	p50 := reg.Histogram(name("fleet_interval_p50_ms"))
+	p95 := reg.Histogram(name("fleet_interval_p95_ms"))
+	p99 := reg.Histogram(name("fleet_interval_p99_ms"))
 	return ObserverFunc(func(ist IntervalStats) {
 		intervals.Inc()
 		queries.Add(int64(ist.Queries))
@@ -79,6 +93,11 @@ func (d *dayAggregator) ObserveInterval(ist IntervalStats) {
 	if ist.EarlyReprovision {
 		res.EarlyReprovisions++
 	}
+	if ist.Boosted {
+		res.BoostedIntervals++
+	}
+	res.SpillInServed += ist.SpillInServed
+	res.SpillInDropped += ist.SpillInDropped
 	res.TotalQueries += ist.Queries
 	res.TotalDrops += ist.Drops
 	res.TotalShed += ist.Shed

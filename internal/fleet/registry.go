@@ -78,6 +78,7 @@ var (
 	routers    = &registry[Router]{kind: "router"}
 	scalers    = &registry[Scaler]{kind: "autoscaler"}
 	admissions = &registry[Admission]{kind: "admission policy"}
+	geos       = &registry[GeoPolicy]{kind: "geo policy"}
 )
 
 // RegisterRouter installs a routing-policy factory under a name,
@@ -136,3 +137,20 @@ func NewAdmission(name string) (Admission, error) {
 // AdmissionNames returns every registered admission-policy name,
 // sorted.
 func AdmissionNames() []string { return admissions.names() }
+
+// RegisterGeoPolicy installs a geo-routing-policy factory under a
+// name, making it selectable by Spec.Geo and hercules-fleet -geo. It
+// panics on a duplicate name.
+func RegisterGeoPolicy(name string, factory func() GeoPolicy) { geos.register(name, factory) }
+
+// NewGeoPolicy instantiates a registered geo policy by name.
+func NewGeoPolicy(name string) (GeoPolicy, error) {
+	f, err := geos.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// GeoPolicyNames returns every registered geo-policy name, sorted.
+func GeoPolicyNames() []string { return geos.names() }

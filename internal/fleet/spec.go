@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"hercules/internal/cluster"
 	"hercules/internal/hw"
@@ -25,9 +26,25 @@ import (
 // The explicit string "none" disables the autoscaler or admission
 // policy (an empty string selects the default).
 type Spec struct {
+	// SpecVersion versions the document shape: 0 (absent) or 1 is the
+	// legacy single-fleet form, 2 adds Regions and Geo. Normalize
+	// upgrades legacy specs in place and stamps SpecVersionCurrent; a
+	// version newer than this build supports is an error, never a
+	// silent misread.
+	SpecVersion int `json:"spec_version,omitempty"`
 	// Fleet names the cluster (hw.NamedFleet): small, cpu, default or
-	// accelerated. WithFleet overrides it for unnamed fleets.
+	// accelerated. WithFleet overrides it for unnamed fleets. In a
+	// multi-region spec it is the default fleet of regions that name
+	// none.
 	Fleet string `json:"fleet,omitempty"`
+	// Regions lists the regional fleets of a multi-region replay
+	// (NewMultiEngine). Empty means the legacy single-fleet run —
+	// Normalize canonicalizes it to one implicit region named "local".
+	Regions []RegionSpec `json:"regions,omitempty"`
+	// Geo names the registered geo-routing policy (GeoPolicyNames)
+	// that moves load between regions each interval; empty defaults to
+	// "local" (no cross-region routing).
+	Geo string `json:"geo,omitempty"`
 	// Models are the workload models replayed against the fleet.
 	Models []string `json:"models,omitempty"`
 	// Router, Policy, Scaler and Admission select policies by
@@ -61,6 +78,83 @@ type Spec struct {
 	PeakQPS float64 `json:"peak_qps,omitempty"`
 	// Options is the engine tuning (batching, slice geometry, seed).
 	Options Options `json:"options"`
+}
+
+// RegionSpec describes one region of a multi-region Spec: a named
+// fleet serving its own diurnal population, phase-shifted against the
+// other regions, with an RTT matrix entry per remote region.
+type RegionSpec struct {
+	// Name identifies the region (unique and non-empty).
+	Name string `json:"name"`
+	// Fleet names the region's cluster (hw.NamedFleet); empty inherits
+	// the Spec's top-level Fleet.
+	Fleet string `json:"fleet,omitempty"`
+	// PhaseH shifts the region's diurnal peak by this many hours
+	// (negative = earlier): a region at PhaseH -8 peaks eight hours
+	// before the reference region, which is what makes follow-the-sun
+	// spill work — one region's peak lands in another's valley.
+	PhaseH float64 `json:"phase_h,omitempty"`
+	// RTTMS maps destination region names to the round-trip time in
+	// milliseconds a spilled query pays when served there. Missing
+	// entries fall back to the destination's entry for this region
+	// (RTT is symmetric), then to DefaultRTTMS.
+	RTTMS map[string]float64 `json:"rtt_ms,omitempty"`
+}
+
+// SpecVersionCurrent is the spec-document version this build writes:
+// 2, the multi-region form.
+const SpecVersionCurrent = 2
+
+// DefaultRTTMS is the inter-region RTT assumed between regions whose
+// spec names no entry in either direction (a conservative
+// cross-continent 80 ms).
+const DefaultRTTMS = 80.0
+
+// Normalize canonicalizes a spec to the current multi-region form:
+// zero values fill from DefaultSpec, a legacy region-less spec
+// becomes one implicit region named "local" on the spec's fleet,
+// regions without a fleet inherit the top-level one, Geo defaults to
+// "local", and SpecVersion is stamped. It validates what it
+// canonicalizes — missing or duplicate region names, an RTT entry
+// naming an unknown region, or a spec version newer than this build
+// are errors. Normalizing an already-normal spec is the identity.
+func (s Spec) Normalize() (Spec, error) {
+	if s.SpecVersion > SpecVersionCurrent {
+		return s, fmt.Errorf("fleet: spec version %d is newer than this build supports (max %d)",
+			s.SpecVersion, SpecVersionCurrent)
+	}
+	s = s.withDefaults()
+	regions := make([]RegionSpec, len(s.Regions))
+	copy(regions, s.Regions)
+	if len(regions) == 0 {
+		regions = []RegionSpec{{Name: "local"}}
+	}
+	known := make(map[string]bool, len(regions))
+	for i := range regions {
+		if regions[i].Name == "" {
+			return s, fmt.Errorf("fleet: region %d has no name", i)
+		}
+		if known[regions[i].Name] {
+			return s, fmt.Errorf("fleet: duplicate region %q", regions[i].Name)
+		}
+		known[regions[i].Name] = true
+		if regions[i].Fleet == "" {
+			regions[i].Fleet = s.Fleet
+		}
+	}
+	for _, r := range regions {
+		for dst := range r.RTTMS {
+			if !known[dst] {
+				return s, fmt.Errorf("fleet: region %q rtt_ms names unknown region %q", r.Name, dst)
+			}
+		}
+	}
+	s.Regions = regions
+	if s.Geo == "" {
+		s.Geo = GeoLocal
+	}
+	s.SpecVersion = SpecVersionCurrent
+	return s, nil
 }
 
 // DefaultSpec returns the canonical run: the small characterization
@@ -215,6 +309,17 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 		spec.Models = traceSrc.Models()
 	}
 	spec = spec.withDefaults()
+	if len(spec.Regions) > 1 {
+		return nil, fmt.Errorf("fleet: spec has %d regions; use NewMultiEngine for multi-region replays", len(spec.Regions))
+	}
+	if len(spec.Regions) == 1 && spec.Regions[0].Fleet != "" {
+		spec.Fleet = spec.Regions[0].Fleet
+	}
+	if spec.Geo != "" {
+		if _, err := geos.lookup(spec.Geo); err != nil {
+			return nil, err
+		}
+	}
 
 	router, err := ParseRouter(spec.Router)
 	if err != nil {
@@ -321,11 +426,32 @@ func specAdmission(name string) (Admission, error) {
 // split across the workloads: high enough that stale allocations hurt
 // at the peak, low enough that the fleet is never simply exhausted.
 func (e *Engine) Workloads() []cluster.Workload {
+	phaseH := 0.0
+	if len(e.Spec.Regions) == 1 {
+		phaseH = e.Spec.Regions[0].PhaseH
+	}
+	return e.workloadsAt(phaseH)
+}
+
+// defaultPeakHour is the reference diurnal peak (the paper's Fig. 2d
+// synchronized evening peak); a region's PhaseH shifts it.
+const defaultPeakHour = 20.0
+
+// workloadsAt is Workloads with the diurnal peak shifted by phaseH
+// hours — the per-region day of a multi-region replay.
+func (e *Engine) workloadsAt(phaseH float64) []cluster.Workload {
 	spec := e.Spec.withDefaults()
 	if e.TraceSrc != nil {
 		// A recorded day is its own workload description: per-model
 		// offered loads verbatim from the trace's offer records.
 		return e.TraceSrc.Workloads(spec.StepMin*60, spec.Options.SliceS)
+	}
+	peakHour := defaultPeakHour
+	if phaseH != 0 {
+		peakHour = math.Mod(defaultPeakHour+phaseH, 24)
+		if peakHour < 0 {
+			peakHour += 24
+		}
 	}
 	ws := make([]cluster.Workload, 0, len(spec.Models))
 	for i, name := range spec.Models {
@@ -343,7 +469,7 @@ func (e *Engine) Workloads() []cluster.Workload {
 			Service:    name,
 			PeakQPS:    peak,
 			ValleyFrac: 0.4,
-			PeakHour:   20,
+			PeakHour:   peakHour,
 			Days:       spec.Days,
 			StepMin:    spec.StepMin,
 			NoiseStd:   0.02,

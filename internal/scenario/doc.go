@@ -18,7 +18,21 @@
 //   - Derate — slows a type's service rate without telling the control
 //     plane (thermal throttling, sick hardware);
 //   - Shed — drops a fraction of arrivals at admission (load-shedding
-//     drill), accounted separately from queue-full drops.
+//     drill), accounted separately from queue-full drops;
+//   - Flush / MixShift warmth effects — knock down the fleet engine's
+//     per-model cache warmth (see internal/fleet's CacheSpec);
+//   - Blackout — takes an entire named region offline: the victim's
+//     fleet drops to zero for the window and every surviving region
+//     absorbs a flash crowd of displaced retries (1.5x by default,
+//     Factor overrides). Only meaningful under CompileRegions.
+//
+// Any event may name a Region to scope itself to one region of a
+// multi-region replay; unscoped events apply everywhere. Compile
+// rejects region-scoped events (they need the region geometry);
+// CompileRegions evaluates one scenario against every region's fleet
+// at once and returns one Timeline per region, validating that named
+// regions exist, that blackouts never overlap in a region, and that
+// at least one region survives every instant of the day.
 //
 // Scenarios are data: Named returns the built-ins (baseline,
 // flashcrowd, regionshift, failure, degrade, shed) and FromJSON parses

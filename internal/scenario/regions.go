@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompileRegions compiles one scenario against a multi-region replay
+// geometry: steps intervals of stepS seconds over the named regions,
+// each with its own fleet composition. It returns one Timeline per
+// region.
+//
+// Region-scoped events (Event.Region naming a region) compile into
+// that region's timeline only; unscoped events compile into every
+// region's. A Blackout event expands per region: the victim gets a
+// wildcard full-fleet Kill over the window (so the control plane
+// re-provisions against zero availability with the usual detection
+// lag) plus the Blackout flag on its intervals, and every survivor
+// gets a Spike at the event's Factor (default
+// BlackoutSurvivorFactor) — the displaced flash crowd.
+//
+// Validation beyond Compile's: an event naming an unknown region
+// errors listing the registered regions, two blackouts of the same
+// region must not overlap, and at least one region must survive every
+// instant (blacking out the only region — or all of them at once —
+// is rejected).
+func CompileRegions(s Scenario, steps int, stepS float64, regions []string, fleetCounts map[string]map[string]int) (map[string]*Timeline, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 || stepS <= 0 {
+		return nil, fmt.Errorf("scenario: bad geometry (%d steps of %gs)", steps, stepS)
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("scenario: CompileRegions needs at least one region")
+	}
+	known := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		if known[r] {
+			return nil, fmt.Errorf("scenario: duplicate region %q", r)
+		}
+		known[r] = true
+	}
+	registered := append([]string(nil), regions...)
+	sort.Strings(registered)
+	for i, ev := range s.Events {
+		if ev.Region != "" && !known[ev.Region] {
+			return nil, fmt.Errorf("scenario: event %d: unknown region %q (registered: %s)",
+				i, ev.Region, strings.Join(registered, ", "))
+		}
+	}
+	// Same-region blackouts must not overlap: the expansion would
+	// double-kill the victim and double-spike the survivors, which is
+	// never what a drill means.
+	blackouts := make(map[string][]Event)
+	for _, ev := range s.Events {
+		if ev.Kind == Blackout {
+			blackouts[ev.Region] = append(blackouts[ev.Region], ev)
+		}
+	}
+	for r, evs := range blackouts {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].StartH < evs[j].StartH })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].StartH < evs[i-1].EndH {
+				return nil, fmt.Errorf("scenario: overlapping blackouts of region %q (%.2fh-%.2fh and %.2fh-%.2fh)",
+					r, evs[i-1].StartH, evs[i-1].EndH, evs[i].StartH, evs[i].EndH)
+			}
+		}
+	}
+	// Every interval needs a surviving region; evaluate at the same
+	// midpoints Compile uses so the check agrees with the timelines.
+	if len(blackouts) > 0 {
+		for i := 0; i < steps; i++ {
+			midH := (float64(i) + 0.5) * stepS / 3600
+			survivors := len(regions)
+			for _, evs := range blackouts {
+				for _, ev := range evs {
+					if midH >= ev.StartH && midH < ev.EndH {
+						survivors--
+						break
+					}
+				}
+			}
+			if survivors <= 0 {
+				if len(regions) == 1 {
+					return nil, fmt.Errorf("scenario: blackout of the only region %q leaves no survivors at %.2fh", regions[0], midH)
+				}
+				return nil, fmt.Errorf("scenario: blackouts leave no surviving region at %.2fh", midH)
+			}
+		}
+	}
+
+	out := make(map[string]*Timeline, len(regions))
+	for _, r := range regions {
+		derived := Scenario{Name: s.Name}
+		for _, ev := range s.Events {
+			switch {
+			case ev.Kind == Blackout && ev.Region == r:
+				derived.Events = append(derived.Events, Event{
+					Kind: Kill, StartH: ev.StartH, EndH: ev.EndH, Frac: 1,
+				})
+			case ev.Kind == Blackout:
+				f := ev.Factor
+				if f == 0 {
+					f = BlackoutSurvivorFactor
+				}
+				derived.Events = append(derived.Events, Event{
+					Kind: Spike, StartH: ev.StartH, EndH: ev.EndH,
+					RampH: ev.RampH, Model: ev.Model, Factor: f,
+				})
+			case ev.Region == "" || ev.Region == r:
+				ev.Region = ""
+				derived.Events = append(derived.Events, ev)
+			}
+		}
+		tl, err := Compile(derived, steps, stepS, fleetCounts[r])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: region %q: %w", r, err)
+		}
+		for _, ev := range blackouts[r] {
+			for i := range tl.effects {
+				midH := (float64(i) + 0.5) * stepS / 3600
+				if midH >= ev.StartH && midH < ev.EndH {
+					tl.effects[i].Blackout = true
+				}
+			}
+		}
+		out[r] = tl
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+var regionsFleets = map[string]map[string]int{
+	"east": {"T2": 60},
+	"west": {"T2": 60},
+}
+
+// blackoutAt is the drill the expansion tests compile: east dark from
+// 0.5h to 1.0h.
+func blackoutAt(factor float64) Scenario {
+	return Scenario{Name: "drill", Events: []Event{
+		{Kind: Blackout, Region: "east", StartH: 0.5, EndH: 1.0, Factor: factor},
+	}}
+}
+
+func TestBlackoutEventValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"no region", Event{Kind: Blackout, StartH: 0, EndH: 1}, "needs a region"},
+		{"factor below 1", Event{Kind: Blackout, Region: "east", StartH: 0, EndH: 1, Factor: 0.5}, "survivor factor"},
+	} {
+		err := tc.ev.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Event{Kind: Blackout, Region: "east", StartH: 0, EndH: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("default-factor blackout rejected: %v", err)
+	}
+}
+
+// TestCompileRejectsRegionScopedEvents: the single-region Compile must
+// refuse what only CompileRegions can honor, rather than silently
+// dropping or misapplying the scope.
+func TestCompileRejectsRegionScopedEvents(t *testing.T) {
+	if _, err := Compile(blackoutAt(0), 12, 600, map[string]int{"T2": 60}); err == nil ||
+		!strings.Contains(err.Error(), "multi-region") {
+		t.Errorf("Compile accepted a blackout event: %v", err)
+	}
+	scoped := Scenario{Name: "s", Events: []Event{
+		{Kind: Spike, Region: "east", StartH: 0, EndH: 1, Factor: 2},
+	}}
+	if _, err := Compile(scoped, 12, 600, nil); err == nil ||
+		!strings.Contains(err.Error(), "multi-region") {
+		t.Errorf("Compile accepted a region-scoped spike: %v", err)
+	}
+}
+
+func TestCompileRegionsUnknownRegion(t *testing.T) {
+	s := Scenario{Name: "s", Events: []Event{
+		{Kind: Blackout, Region: "mars", StartH: 0.5, EndH: 1.0},
+	}}
+	_, err := CompileRegions(s, 12, 600, []string{"west", "east"}, regionsFleets)
+	if err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	// The message must list the registered regions, sorted, so a typo
+	// is self-diagnosing.
+	if !strings.Contains(err.Error(), `"mars"`) || !strings.Contains(err.Error(), "east, west") {
+		t.Errorf("error %v does not name the unknown region and the sorted registered set", err)
+	}
+}
+
+func TestCompileRegionsOverlappingBlackouts(t *testing.T) {
+	s := Scenario{Name: "s", Events: []Event{
+		{Kind: Blackout, Region: "east", StartH: 0.5, EndH: 1.0},
+		{Kind: Blackout, Region: "east", StartH: 0.8, EndH: 1.5},
+	}}
+	if _, err := CompileRegions(s, 12, 600, []string{"east", "west"}, regionsFleets); err == nil ||
+		!strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("overlapping same-region blackouts accepted: %v", err)
+	}
+	// The same windows on different regions are legal only while
+	// someone survives: staggered is fine, simultaneous is not.
+	staggered := Scenario{Name: "s", Events: []Event{
+		{Kind: Blackout, Region: "east", StartH: 0.5, EndH: 1.0},
+		{Kind: Blackout, Region: "west", StartH: 1.0, EndH: 1.5},
+	}}
+	if _, err := CompileRegions(staggered, 12, 600, []string{"east", "west"}, regionsFleets); err != nil {
+		t.Errorf("staggered blackouts rejected: %v", err)
+	}
+	simultaneous := Scenario{Name: "s", Events: []Event{
+		{Kind: Blackout, Region: "east", StartH: 0.5, EndH: 1.0},
+		{Kind: Blackout, Region: "west", StartH: 0.5, EndH: 1.0},
+	}}
+	if _, err := CompileRegions(simultaneous, 12, 600, []string{"east", "west"}, regionsFleets); err == nil ||
+		!strings.Contains(err.Error(), "no surviving region") {
+		t.Errorf("total blackout accepted: %v", err)
+	}
+}
+
+func TestCompileRegionsBlackoutOfOnlyRegion(t *testing.T) {
+	s := Scenario{Name: "s", Events: []Event{
+		{Kind: Blackout, Region: "solo", StartH: 0.5, EndH: 1.0},
+	}}
+	_, err := CompileRegions(s, 12, 600, []string{"solo"}, map[string]map[string]int{"solo": {"T2": 60}})
+	if err == nil || !strings.Contains(err.Error(), "only region") {
+		t.Errorf("blackout of the only region accepted: %v", err)
+	}
+}
+
+// TestCompileRegionsBlackoutExpansion checks the per-region timelines
+// a blackout compiles into: the victim loses its whole fleet and
+// carries the Blackout flag; survivors see the flash-crowd spike and
+// no flag; outside the window everyone is untouched.
+func TestCompileRegionsBlackoutExpansion(t *testing.T) {
+	// 12 steps of 600 s: midpoints at (i+0.5)/6 h, so 0.5h-1.0h covers
+	// intervals 3, 4 and 5.
+	tls, err := CompileRegions(blackoutAt(0), 12, 600, []string{"east", "west"}, regionsFleets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	east, west := tls["east"], tls["west"]
+	for i := 0; i < 12; i++ {
+		dark := i >= 3 && i <= 5
+		ee, we := east.At(i), west.At(i)
+		if ee.Blackout != dark {
+			t.Errorf("interval %d: east Blackout=%v, want %v", i, ee.Blackout, dark)
+		}
+		if we.Blackout {
+			t.Errorf("interval %d: survivor west carries the Blackout flag", i)
+		}
+		wantKilled := 0
+		if dark {
+			wantKilled = 60
+		}
+		if got := ee.KilledOf("T2"); got != wantKilled {
+			t.Errorf("interval %d: east killed %d, want %d", i, got, wantKilled)
+		}
+		wantLoad := 1.0
+		if dark {
+			wantLoad = BlackoutSurvivorFactor
+		}
+		if got := we.Load("any-model"); got != wantLoad {
+			t.Errorf("interval %d: west load factor %g, want %g", i, got, wantLoad)
+		}
+		if got := ee.Load("any-model"); got != 1.0 {
+			t.Errorf("interval %d: victim east load factor %g, want 1 (its traffic reroutes, it does not spike)", i, got)
+		}
+	}
+
+	// An explicit survivor factor overrides the 1.5x default.
+	tls, err = CompileRegions(blackoutAt(2.0), 12, 600, []string{"east", "west"}, regionsFleets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tls["west"].At(4).Load("m"); got != 2.0 {
+		t.Errorf("explicit survivor factor: west load %g, want 2", got)
+	}
+}
+
+// TestCompileRegionsScopedEvents: a region-scoped non-blackout event
+// lands only in its region; an unscoped one lands everywhere.
+func TestCompileRegionsScopedEvents(t *testing.T) {
+	s := Scenario{Name: "s", Events: []Event{
+		{Kind: Spike, Region: "east", StartH: 0, EndH: 1, Factor: 3},
+		{Kind: Derate, StartH: 0, EndH: 1, Factor: 0.5},
+	}}
+	tls, err := CompileRegions(s, 6, 600, []string{"east", "west"}, regionsFleets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tls["east"].At(0).Load("m"); got != 3.0 {
+		t.Errorf("east-scoped spike: east load %g, want 3", got)
+	}
+	if got := tls["west"].At(0).Load("m"); got != 1.0 {
+		t.Errorf("east-scoped spike leaked into west (load %g)", got)
+	}
+	for _, r := range []string{"east", "west"} {
+		if got := tls[r].At(0).DerateOf("T2"); got != 0.5 {
+			t.Errorf("unscoped derate missing from %s (got %g)", r, got)
+		}
+	}
+}
+
+func TestCompileRegionsGeometryErrors(t *testing.T) {
+	base := Scenario{Name: "s"}
+	if _, err := CompileRegions(base, 0, 600, []string{"a"}, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := CompileRegions(base, 6, 600, nil, nil); err == nil {
+		t.Error("no regions accepted")
+	}
+	if _, err := CompileRegions(base, 6, 600, []string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate regions accepted")
+	}
+}

@@ -45,7 +45,20 @@ const (
 	// enabled the hit rate collapses and misses flood the backends —
 	// the cold-start storm. Without a cache tier the event is a no-op.
 	Flush Kind = "flush"
+	// Blackout takes the named Region offline for the window: every
+	// server in the region's fleet is killed (with the same detection
+	// lag as a Kill event) and the surviving regions absorb a flash
+	// crowd of Factor (default BlackoutSurvivorFactor) on their
+	// arrivals — the displaced users retrying against whatever is
+	// still up. Blackout events only compile under CompileRegions; a
+	// single-pool Compile rejects them.
+	Blackout Kind = "blackout"
 )
+
+// BlackoutSurvivorFactor is the default surviving-region load
+// multiplier during a blackout (the displaced traffic plus the retry
+// amplification the survivors actually see).
+const BlackoutSurvivorFactor = 1.5
 
 // Event is one timeline entry of a scenario: an effect of the given
 // kind active on [StartH, EndH) hours into the replay. Model restricts
@@ -63,6 +76,11 @@ type Event struct {
 	Factor float64 `json:"factor,omitempty"`
 	Count  int     `json:"count,omitempty"`
 	Frac   float64 `json:"frac,omitempty"`
+	// Region scopes the event to one region of a multi-region replay
+	// (required for Blackout, where it names the victim; optional for
+	// every other kind). Region-scoped events only compile under
+	// CompileRegions.
+	Region string `json:"region,omitempty"`
 }
 
 // Validate checks one event's fields.
@@ -99,6 +117,13 @@ func (e Event) Validate() error {
 	case Flush:
 		if e.Frac <= 0 || e.Frac > 1 {
 			return fmt.Errorf("scenario: flush fraction must be in (0,1], got %g", e.Frac)
+		}
+	case Blackout:
+		if e.Region == "" {
+			return fmt.Errorf("scenario: blackout event needs a region")
+		}
+		if e.Factor != 0 && e.Factor < 1 {
+			return fmt.Errorf("scenario: blackout survivor factor must be >= 1 (or 0 for the default %.1fx), got %g", BlackoutSurvivorFactor, e.Factor)
 		}
 	default:
 		return fmt.Errorf("scenario: unknown event kind %q", e.Kind)
@@ -185,10 +210,19 @@ func (s Scenario) Summary() string {
 		if e.Kind == Kill || e.Kind == Derate {
 			scope = e.Type
 		}
+		if e.Kind == Blackout {
+			scope = e.Region
+		}
 		if scope == "" {
 			scope = "all"
 		}
 		switch e.Kind {
+		case Blackout:
+			f := e.Factor
+			if f == 0 {
+				f = BlackoutSurvivorFactor
+			}
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh blackout region %s (survivors x%.2f)\n", e.StartH, e.EndH, scope, f)
 		case Kill:
 			if e.Count > 0 {
 				fmt.Fprintf(&sb, "  %5.2fh-%5.2fh kill %d %s server(s)\n", e.StartH, e.EndH, e.Count, scope)
@@ -227,6 +261,11 @@ type Effects struct {
 	FlushFrac  map[string]float64
 	Killed     map[string]int
 	DerateFrac map[string]float64
+	// Blackout marks an interval whose whole region is offline (only
+	// CompileRegions sets it; the geo-router uses it to stop spilling
+	// into — and start evacuating — the dead region). The fleet effect
+	// itself arrives as a wildcard full-fleet kill in Killed.
+	Blackout bool
 }
 
 // Load returns the arrival-rate multiplier for one model (default 1).
@@ -324,6 +363,14 @@ type Timeline struct {
 func Compile(s Scenario, steps int, stepS float64, fleetCounts map[string]int) (*Timeline, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	for i, ev := range s.Events {
+		if ev.Kind == Blackout {
+			return nil, fmt.Errorf("scenario: event %d: blackout events need a multi-region replay (CompileRegions)", i)
+		}
+		if ev.Region != "" {
+			return nil, fmt.Errorf("scenario: event %d: region-scoped %s event needs a multi-region replay (CompileRegions)", i, ev.Kind)
+		}
 	}
 	if steps <= 0 || stepS <= 0 {
 		return nil, fmt.Errorf("scenario: bad geometry (%d steps of %gs)", steps, stepS)

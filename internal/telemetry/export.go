@@ -66,6 +66,12 @@ func (nw *NDJSONWriter) WriteEvents(evs []Event) error {
 		b = append(b, ev.Kind.String()...)
 		b = append(b, `","m":`...)
 		b = strconv.AppendQuote(b, ev.Model)
+		if ev.Region != "" {
+			// Only multi-region replays stamp a region, so single-region
+			// trace bytes (and the committed golden) are unchanged.
+			b = append(b, `,"r":`...)
+			b = strconv.AppendQuote(b, ev.Region)
+		}
 		b = append(b, `,"q":`...)
 		b = strconv.AppendInt(b, ev.Query, 10)
 		b = append(b, `,"t":`...)

@@ -95,7 +95,11 @@ type Event struct {
 	Value    float64
 	Aux      float64
 	Model    string
-	Cand     [MaxCandidates]int32
+	// Region labels which region's engine emitted the event in a
+	// multi-region replay (interned, stamped by the tracer at Ingest);
+	// empty for single-region runs.
+	Region string
+	Cand   [MaxCandidates]int32
 }
 
 // Sink receives flushed trace events in deterministic order. Writes
@@ -127,6 +131,7 @@ type Tracer struct {
 	SampleN int
 
 	seed    int64
+	region  string
 	ring    []Event
 	head    int // next write slot
 	size    int // occupied slots
@@ -155,6 +160,13 @@ func NewTracer(seed int64, sampleN, ringCap int) *Tracer {
 
 // AddSink attaches an export sink; repeat for several.
 func (t *Tracer) AddSink(s Sink) { t.sinks = append(t.sinks, s) }
+
+// SetRegion labels every event this tracer ingests from now on with
+// the given region name (one interned string — no per-event
+// allocation). Multi-region replays give each region's tracer its
+// region; single-region runs leave it empty, and their trace bytes are
+// unchanged.
+func (t *Tracer) SetRegion(region string) { t.region = region }
 
 // splitmix64 is the avalanche mixer behind the sampling hash.
 func splitmix64(x uint64) uint64 {
@@ -200,6 +212,9 @@ func (t *Tracer) Ingest(evs []Event) {
 			}
 		}
 		t.ring[t.head] = evs[i]
+		if t.region != "" {
+			t.ring[t.head].Region = t.region
+		}
 		t.head = (t.head + 1) % len(t.ring)
 		t.size++
 	}
