@@ -513,11 +513,15 @@ func main() {
 					}
 					if *cf.ndjson {
 						// Each line carries its run's identity — the sweep
-						// multiplexes every run onto one stream.
-						line := ndjsonInterval{Router: router, Policy: pol, Scenario: runScen.Name, Region: region}
+						// multiplexes every run onto one stream. The line is
+						// built per callback so the observer retains nothing
+						// across intervals.
+						scen := runScen.Name
 						eng.Observers = append(eng.Observers, fleet.ObserverFunc(func(ist fleet.IntervalStats) {
-							line.IntervalStats = ist
-							ndjsonEnc.Encode(line)
+							ndjsonEnc.Encode(ndjsonInterval{
+								Router: router, Policy: pol, Scenario: scen, Region: region,
+								IntervalStats: ist,
+							})
 						}))
 					}
 				}

@@ -1,0 +1,84 @@
+// Command hercules-lint runs the repo's static determinism and
+// hot-path invariant analyzers (internal/lintcheck) over the packages
+// matched by the given patterns and exits non-zero on any diagnostic.
+//
+//	hercules-lint ./...
+//	hercules-lint -only wallclock,maporder ./internal/fleet
+//
+// Diagnostics are suppressed per-statement with a reasoned directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See internal/lintcheck for the contracts each analyzer enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hercules/internal/lintcheck"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hercules-lint [flags] [packages]\n\nRuns the hercules static-analysis suite (default patterns: ./...).\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lintcheck.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*lintcheck.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hercules-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintcheck.Load("", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hercules-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := lintcheck.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hercules-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "hercules-lint: %d issue(s) in %d package(s); suppress a legitimate use with //lint:allow <analyzer> <reason>\n",
+			total, len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -57,20 +57,20 @@ func main() {
 	spec.Options.TraceSample = 64 // trace 1 in 64 queries
 
 	run := func(s fleet.Spec, sinks ...telemetry.Sink) fleet.DayResult {
-		eng, err := fleet.NewEngine(s, fleet.WithTable(table), fleet.WithFleet(fl))
-		if err != nil {
-			fatal(err)
+		eng, engErr := fleet.NewEngine(s, fleet.WithTable(table), fleet.WithFleet(fl))
+		if engErr != nil {
+			fatal(engErr)
 		}
 		for _, sink := range sinks {
 			eng.Tracer.AddSink(sink)
 		}
-		day, err := eng.RunDay(ws)
-		if err != nil {
-			fatal(err)
+		day, dayErr := eng.RunDay(ws)
+		if dayErr != nil {
+			fatal(dayErr)
 		}
 		if eng.Tracer != nil {
-			if err := eng.Tracer.Close(); err != nil {
-				fatal(err)
+			if closeErr := eng.Tracer.Close(); closeErr != nil {
+				fatal(closeErr)
 			}
 		}
 		return day

@@ -56,9 +56,9 @@ func FigRegions(seed int64) (FigRegionsResult, error) {
 		return res, err
 	}
 	run := func(geo string) (fleet.DayResult, error) {
-		me, err := fleet.NewMultiEngine(RegionsSpec(geo, seed), fleet.WithTable(table))
-		if err != nil {
-			return fleet.DayResult{}, err
+		me, meErr := fleet.NewMultiEngine(RegionsSpec(geo, seed), fleet.WithTable(table))
+		if meErr != nil {
+			return fleet.DayResult{}, meErr
 		}
 		return me.RunDay(me.Workloads())
 	}

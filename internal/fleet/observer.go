@@ -86,6 +86,7 @@ type dayAggregator struct {
 // ObserveInterval implements Observer.
 func (d *dayAggregator) ObserveInterval(ist IntervalStats) {
 	res := d.res
+	//lint:allow obscontract DayResult.Steps is the documented owner of the interval stream; the engine hands over each IntervalStats by value
 	res.Steps = append(res.Steps, ist)
 	if ist.Reprovisioned {
 		res.Reprovisions++

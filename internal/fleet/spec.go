@@ -362,9 +362,9 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 	if table == nil {
 		models := make([]*model.Model, 0, len(spec.Models))
 		for _, name := range spec.Models {
-			m, err := model.ByName(name, model.Prod)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: %w", err)
+			m, lookupErr := model.ByName(name, model.Prod)
+			if lookupErr != nil {
+				return nil, fmt.Errorf("fleet: %w", lookupErr)
 			}
 			models = append(models, m)
 		}

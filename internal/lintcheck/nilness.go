@@ -1,0 +1,176 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilnessAnalyzer is a local, deliberately conservative stand-in for
+// the stock golang.org/x/tools nilness pass (the module takes no
+// dependencies, and the upstream pass needs go/ssa). It flags uses
+// that certainly panic inside a branch where a variable is known to be
+// nil: `if x == nil { x.Field ... }` — dereferences and field reads
+// through nil pointers, method calls on nil interfaces, nil slice
+// indexing, nil map writes and nil function calls. Uses after the
+// variable is reassigned inside the branch are not reported.
+var NilnessAnalyzer = &Analyzer{
+	Name: "nilness",
+	Doc: "report dereference, indexing, method call or invocation of a variable inside a " +
+		"branch where it is known to be nil",
+	Run: runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			obj := nilComparedVar(pass, cond)
+			if obj == nil {
+				return true
+			}
+			var branch *ast.BlockStmt
+			switch cond.Op {
+			case token.EQL:
+				branch = ifs.Body
+			case token.NEQ:
+				branch, _ = ifs.Else.(*ast.BlockStmt)
+			}
+			if branch != nil {
+				checkNilBranch(pass, branch, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparedVar returns the variable compared against nil, or nil.
+func nilComparedVar(pass *Pass, cond *ast.BinaryExpr) *types.Var {
+	if cond.Op != token.EQL && cond.Op != token.NEQ {
+		return nil
+	}
+	x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+	if isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, y) {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature:
+		return v
+	}
+	return nil
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch reports certainly-panicking uses of obj inside the
+// branch, up to the first reassignment of obj.
+func checkNilBranch(pass *Pass, branch *ast.BlockStmt, obj *types.Var) {
+	// Find where (if at all) obj is reassigned inside the branch; uses
+	// past that point are no longer known-nil.
+	reassigned := token.Pos(-1)
+	ast.Inspect(branch, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+					if reassigned == token.Pos(-1) || asg.Pos() < reassigned {
+						reassigned = asg.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	knownNil := func(pos token.Pos) bool {
+		return reassigned == token.Pos(-1) || pos < reassigned
+	}
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.StarExpr:
+			if usesObj(x.X) && knownNil(x.Pos()) {
+				pass.Reportf(x.Pos(), "dereference of %s, which is nil on this branch", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if !usesObj(x.X) || !knownNil(x.Pos()) {
+				return true
+			}
+			sel, ok := pass.TypesInfo.Selections[x]
+			if !ok {
+				return true
+			}
+			switch {
+			case sel.Kind() == types.FieldVal && isPointer(obj.Type()):
+				pass.Reportf(x.Pos(), "field access through %s, which is nil on this branch", obj.Name())
+			case sel.Kind() == types.MethodVal && isInterface(obj.Type()):
+				pass.Reportf(x.Pos(), "method call on %s, which is a nil interface on this branch", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if !usesObj(x.X) || !knownNil(x.Pos()) {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				pass.Reportf(x.Pos(), "index of %s, which is a nil slice on this branch", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || !usesObj(ix.X) || !knownNil(ix.Pos()) {
+					continue
+				}
+				if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+					pass.Reportf(ix.Pos(), "write to %s, which is a nil map on this branch", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if usesObj(x.Fun) && knownNil(x.Pos()) {
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+					pass.Reportf(x.Pos(), "call of %s, which is a nil function on this branch", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,123 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShadowAnalyzer is a local reimplementation of the stock
+// golang.org/x/tools shadow pass (this module takes no dependencies,
+// so the upstream multichecker passes cannot be imported; the
+// behaviour is kept deliberately close). It reports a := or var
+// declaration inside a function that shadows an earlier same-typed
+// variable from an enclosing function scope, when the shadowed
+// variable is still used after the inner scope ends — the case where
+// reading the wrong variable is both likely and silent (the classic
+// `err := ...` inside a block that leaves the outer err unchecked).
+// Package-level shadowing is not reported.
+var ShadowAnalyzer = &Analyzer{
+	Name: "shadow",
+	Doc: "report declarations that shadow a same-typed variable from an enclosing function " +
+		"scope when the shadowed variable is used after the inner scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	// Index uses by object once: the "outer variable used later" test
+	// needs the position of every use.
+	lastUse := make(map[types.Object]token.Pos)
+	for ident, obj := range pass.TypesInfo.Uses {
+		if p, ok := lastUse[obj]; !ok || ident.Pos() > p {
+			lastUse[obj] = ident.Pos()
+		}
+	}
+	pkgScope := pass.Pkg.Scope()
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok != token.DEFINE {
+					return true
+				}
+				// The scoped-error idiom `if err := f(); err != nil`
+				// (and its for/switch siblings) confines the shadow to
+				// the statement by construction: exempt init clauses.
+				if len(stack) > 0 {
+					switch parent := stack[len(stack)-1].(type) {
+					case *ast.IfStmt:
+						if parent.Init == n {
+							return true
+						}
+					case *ast.ForStmt:
+						if parent.Init == n {
+							return true
+						}
+					case *ast.SwitchStmt:
+						if parent.Init == n {
+							return true
+						}
+					case *ast.TypeSwitchStmt:
+						if parent.Init == n {
+							return true
+						}
+					}
+				}
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						checkShadow(pass, pkgScope, lastUse, id)
+					}
+				}
+			case *ast.GenDecl:
+				if x.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range x.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						checkShadow(pass, pkgScope, lastUse, id)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkShadow reports ident if it shadows an outer function-scope
+// variable that outlives (and is used after) ident's scope.
+func checkShadow(pass *Pass, pkgScope *types.Scope, lastUse map[types.Object]token.Pos, ident *ast.Ident) {
+	if ident.Name == "_" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[ident].(*types.Var)
+	if !ok || obj.Parent() == nil {
+		return
+	}
+	inner := obj.Parent()
+	if inner == pkgScope {
+		return // package-level declarations cannot shadow
+	}
+	for sc := inner.Parent(); sc != nil && sc != pkgScope; sc = sc.Parent() {
+		prev, ok := sc.Lookup(ident.Name).(*types.Var)
+		if !ok {
+			continue
+		}
+		if prev.Parent() == pkgScope || prev.Pos() == token.NoPos || prev.Pos() >= obj.Pos() {
+			return // package var, or declared later: not a shadow hazard
+		}
+		if !types.Identical(prev.Type(), obj.Type()) {
+			return // different types: a use of the wrong one won't compile silently
+		}
+		if use, ok := lastUse[prev]; ok && use > inner.End() {
+			pass.Reportf(ident.Pos(),
+				"declaration of %q shadows declaration at %s; the outer variable is used after this scope ends",
+				ident.Name, pass.Fset.Position(prev.Pos()))
+		}
+		return
+	}
+}

@@ -1,0 +1,12 @@
+// Package clockuser is not a replay-path package: the wallclock
+// analyzer must stay silent here.
+package clockuser
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func roll() int { return rand.Intn(6) }

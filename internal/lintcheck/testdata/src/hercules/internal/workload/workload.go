@@ -1,0 +1,26 @@
+// Package workload is the directive-scoping fixture: //lint:allow
+// covers exactly the next statement (or its own line when trailing),
+// silences only the analyzer it names, and is itself diagnosed when
+// malformed.
+package workload
+
+import "time"
+
+func nextStatementOnly() (time.Time, time.Time) {
+	//lint:allow wallclock fixture: covers only the next statement
+	a := time.Now()
+	b := time.Now() // want "time\\.Now reads the wall clock"
+	return a, b
+}
+
+func wrongAnalyzerName() time.Time {
+	//lint:allow maporder fixture: names a different analyzer
+	return time.Now() // want "time\\.Now reads the wall clock"
+}
+
+func malformedDirectives() time.Time {
+	//lint:allow // want "bare //lint:allow"
+	//lint:allow wallclock // want "has no reason"
+	//lint:allow clockcheck because // want "unknown analyzer"
+	return time.Now() // want "time\\.Now reads the wall clock"
+}

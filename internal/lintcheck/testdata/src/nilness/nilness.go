@@ -1,0 +1,66 @@
+// Package nilness is the nilness fixture: uses that certainly panic
+// inside a branch where the variable is known to be nil.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+type closer interface{ Close() error }
+
+func fieldThroughNil(p *node) int {
+	if p == nil {
+		return p.val // want "field access through p"
+	}
+	return p.val
+}
+
+func derefNil(p *int) int {
+	if p == nil {
+		return *p // want "dereference of p"
+	}
+	return *p
+}
+
+func nilInterface(c closer) {
+	if c == nil {
+		_ = c.Close() // want "method call on c"
+	}
+}
+
+func nilSlice(s []int) int {
+	if s == nil {
+		return s[0] // want "index of s"
+	}
+	return s[0]
+}
+
+func nilMapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want "write to m"
+	}
+}
+
+func nilFunc(f func() int) int {
+	if f == nil {
+		return f() // want "call of f"
+	}
+	return f()
+}
+
+func reassignedFirst(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val // reassigned above: legal
+	}
+	return p.val
+}
+
+func negatedElse(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want "field access through p"
+	}
+}

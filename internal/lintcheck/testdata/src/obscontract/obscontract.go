@@ -1,0 +1,62 @@
+// Package obscontract is the Observer-contract fixture: callbacks run
+// synchronously on the replay goroutine and must not retain the
+// per-interval snapshot (IntervalStats carries maps) past the call.
+package obscontract
+
+import "hercules/internal/fleet"
+
+var lastGlobal fleet.IntervalStats
+
+type collector struct {
+	last   fleet.IntervalStats
+	warmth map[string]float64
+	p99s   []float64
+}
+
+// ObserveInterval implements fleet.Observer.
+func (c *collector) ObserveInterval(ist fleet.IntervalStats) {
+	c.p99s = append(c.p99s, ist.P99MS) // scalar copy: legal
+	go flush(ist)                      // want "observer spawns a goroutine"
+	c.last = ist                       // want "stores the interval snapshot"
+	c.warmth = ist.CacheWarmth         // want "stores the interval snapshot"
+	p := &ist                          // want "takes the address of the interval snapshot"
+	_ = p
+}
+
+func flush(ist fleet.IntervalStats) {}
+
+type streamer struct{ ch chan fleet.IntervalStats }
+
+// ObserveInterval implements fleet.Observer.
+func (s *streamer) ObserveInterval(ist fleet.IntervalStats) {
+	s.ch <- ist // want "sends the interval snapshot to a channel"
+}
+
+type tally struct{ queries int }
+
+// ObserveInterval implements fleet.Observer.
+func (t *tally) ObserveInterval(ist fleet.IntervalStats) {
+	t.queries += ist.Queries // scalar fold: legal
+}
+
+func adapter() fleet.Observer {
+	return fleet.ObserverFunc(func(ist fleet.IntervalStats) {
+		lastGlobal = ist // want "stores the interval snapshot"
+	})
+}
+
+func safeAdapter() fleet.Observer {
+	total := 0
+	return fleet.ObserverFunc(func(ist fleet.IntervalStats) {
+		queries := ist.Queries // local scalar: legal
+		total += queries
+	})
+}
+
+type aggregate struct{ Steps []fleet.IntervalStats }
+
+// ObserveInterval implements fleet.Observer.
+func (a *aggregate) ObserveInterval(ist fleet.IntervalStats) {
+	//lint:allow obscontract fixture: the aggregate owns the interval stream by contract
+	a.Steps = append(a.Steps, ist)
+}

@@ -1,0 +1,39 @@
+// Package registryuse is the policy-registry fixture: policies are
+// reached through the fleet registry, never constructed directly, and
+// Register* calls stay top-level with statically-known names.
+package registryuse
+
+import "hercules/internal/fleet"
+
+const customName = "custom"
+
+func init() {
+	fleet.RegisterRouter("literal", nil)                          // literal name at init: legal
+	fleet.RegisterRouter(customName, nil)                         // constant name at init: legal
+	fleet.RegisterRouter(fleet.RoundRobin, nil)                   // imported constant: legal
+	fleet.RegisterRouter(pickName(), nil)                         // want "name must be a string literal or constant"
+	fleet.RegisterScaler("s", func() fleet.Scaler { return nil }) // ctor literal: legal
+}
+
+func pickName() string { return "computed" }
+
+func registerLate() {
+	fleet.RegisterRouter("late", nil) // want "RegisterRouter called from function registerLate"
+}
+
+func viaRegistry() (fleet.Router, error) {
+	return fleet.NewRouter(fleet.RoundRobin) // registry lookup returns the interface: legal
+}
+
+func direct() fleet.Router {
+	return fleet.StaticRouter{Fixed: 1} // want "Router implementation .* constructed directly"
+}
+
+func viaConcreteCtor() fleet.Router {
+	return fleet.NewStatic(3) // want "call returns concrete Router implementation"
+}
+
+func allowedDirect() fleet.Router {
+	//lint:allow registryuse fixture: a benchmark pins this router deliberately
+	return fleet.StaticRouter{Fixed: 2}
+}

@@ -1,0 +1,59 @@
+// Package shadow is the shadow fixture: an inner same-typed
+// redeclaration is flagged only when the outer variable is still used
+// after the inner scope ends.
+package shadow
+
+func work() error { return nil }
+
+func flagged() error {
+	err := work()
+	for i := 0; i < 3; i++ {
+		err := work() // want "declaration of .err. shadows declaration"
+		_ = err
+	}
+	return err
+}
+
+func viaVar() error {
+	err := work()
+	{
+		var err error // want "declaration of .err. shadows declaration"
+		_ = err
+	}
+	return err
+}
+
+func initClause() error {
+	err := work()
+	if err := work(); err != nil { // init-clause scope is the idiom: legal
+		return err
+	}
+	return err
+}
+
+func outerDoneFirst() {
+	err := work()
+	_ = err
+	{
+		err := work() // outer err never used again: legal
+		_ = err
+	}
+}
+
+func differentType() error {
+	err := work()
+	{
+		err := 7 // different type, misuse will not compile: legal
+		_ = err
+	}
+	return err
+}
+
+func allowed() error {
+	err := work()
+	{
+		err := work() //lint:allow shadow fixture: the inner scope is deliberate
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression's static callee, or nil for
+// dynamic calls, builtins and conversions.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootIdent walks selector/index/star/slice/paren/assert chains down
+// to their base identifier, or nil when the base is not an identifier
+// (a call result, a literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedOrDeref returns the named type of t, looking through one
+// pointer, or nil.
+func namedOrDeref(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// typeHasRefs reports whether values of t carry references (pointers,
+// slices, maps, channels, funcs, interfaces) — i.e. whether retaining
+// a copy of such a value can alias state owned by someone else.
+func typeHasRefs(t types.Type) bool {
+	return typeHasRefs1(t, make(map[types.Type]bool))
+}
+
+func typeHasRefs1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasRefs1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeHasRefs1(u.Elem(), seen)
+	}
+	return false
+}

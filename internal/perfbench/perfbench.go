@@ -187,15 +187,24 @@ func Aggregate(raws []rawResult) []Bench {
 	return out
 }
 
-// NewReport wraps aggregated benchmarks with run provenance.
+// NewReport wraps aggregated benchmarks with run provenance, stamped
+// with the current wall clock. Code that needs a reproducible report
+// (tests, replayed tooling) should call ReportAt with an explicit
+// timestamp instead.
 func NewReport(benches []Bench, command string) *Report {
+	return ReportAt(time.Now(), benches, command) //lint:allow wallclock report provenance timestamp, not replay state
+}
+
+// ReportAt is NewReport with the generation time injected by the
+// caller — the deterministic entry point.
+func ReportAt(t time.Time, benches []Bench, command string) *Report {
 	return &Report{
 		Schema:      Schema,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: t.UTC().Format(time.RFC3339),
 		Command:     command,
 		Benchmarks:  benches,
 	}

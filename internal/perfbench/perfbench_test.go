@@ -4,7 +4,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// fixedStamp is the injected generation time: tests build reports via
+// ReportAt so their output is reproducible run to run.
+var fixedStamp = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
 
 // cannedOutput mimics real -count 3 output: printing benchmarks split
 // the name from the metrics line (their own output interleaves, here
@@ -75,7 +80,7 @@ func TestParseRejectsNoise(t *testing.T) {
 }
 
 func TestReportRoundTrip(t *testing.T) {
-	rep := NewReport(parseCanned(t), "go test -bench X")
+	rep := ReportAt(fixedStamp, parseCanned(t), "go test -bench X")
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := rep.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -87,6 +92,9 @@ func TestReportRoundTrip(t *testing.T) {
 	if got.Schema != Schema || len(got.Benchmarks) != 2 {
 		t.Fatalf("roundtrip lost data: %+v", got)
 	}
+	if got.GeneratedAt != "2026-01-02T03:04:05Z" {
+		t.Fatalf("GeneratedAt = %q, want the injected stamp", got.GeneratedAt)
+	}
 	if got.Find("BenchmarkFleetDay") == nil || got.Find("BenchmarkNope") != nil {
 		t.Fatal("Find broken after roundtrip")
 	}
@@ -96,7 +104,7 @@ func TestReportRoundTrip(t *testing.T) {
 }
 
 func report(nsMin, allocsMean float64) *Report {
-	return NewReport([]Bench{{
+	return ReportAt(fixedStamp, []Bench{{
 		Name: "BenchmarkFleetDay",
 		Reps: 3,
 		Metrics: map[string]Stat{
@@ -136,7 +144,7 @@ func TestCompareGates(t *testing.T) {
 
 func TestCompareMissingBenchRegresses(t *testing.T) {
 	base := report(1e8, 2342)
-	fresh := NewReport([]Bench{{Name: "BenchmarkOther", Reps: 1, Metrics: map[string]Stat{}}}, "test")
+	fresh := ReportAt(fixedStamp, []Bench{{Name: "BenchmarkOther", Reps: 1, Metrics: map[string]Stat{}}}, "test")
 	regs := Regressions(Compare(base, fresh, Thresholds{Time: 0.15, Alloc: 0.10}))
 	if len(regs) != 1 || !regs[0].Missing {
 		t.Fatalf("vanished baseline benchmark must regress, got %+v", regs)
@@ -149,7 +157,7 @@ func TestCompareMissingBenchRegresses(t *testing.T) {
 
 func TestCompareMissingMetricRegresses(t *testing.T) {
 	base := report(1e8, 2342)
-	fresh := NewReport([]Bench{{
+	fresh := ReportAt(fixedStamp, []Bench{{
 		Name:    "BenchmarkFleetDay",
 		Reps:    3,
 		Metrics: map[string]Stat{"ns/op": {Mean: 1e8, Min: 1e8, Max: 1e8}},
@@ -164,8 +172,8 @@ func TestCompareMissingMetricRegresses(t *testing.T) {
 }
 
 func TestCompareZeroBaseline(t *testing.T) {
-	base := NewReport([]Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {}}}}, "t")
-	fresh := NewReport([]Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {Mean: 1, Min: 1, Max: 1}}}}, "t")
+	base := ReportAt(fixedStamp, []Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {}}}}, "t")
+	fresh := ReportAt(fixedStamp, []Bench{{Name: "B", Reps: 1, Metrics: map[string]Stat{"allocs/op": {Mean: 1, Min: 1, Max: 1}}}}, "t")
 	regs := Regressions(Compare(base, fresh, Thresholds{Time: 0.15, Alloc: 0.10}))
 	if len(regs) != 1 {
 		t.Fatalf("zero-alloc baseline must regress on any alloc, got %+v", regs)
