@@ -321,6 +321,33 @@ func BenchmarkFleetDayBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetDayCarbon is BenchmarkFleetDay with the duck-curve
+// grid timeline attached and the carbon scaler + admission pair
+// selected: every interval prices its measured joules into gCO2 at the
+// hour's intensity, feeds the scaler its grid forecast and evaluates
+// the deferral ramp at admission. CI gates it against BENCH_fleet.json
+// alongside the other fleet benchmarks — carbon accounting must stay a
+// negligible overlay on the replay cost.
+func BenchmarkFleetDayCarbon(b *testing.B) {
+	if _, err := experiments.FleetTable(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day, err := experiments.CarbonDay(experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("carbon fleet day: %d queries, %.2f kg CO2, %.3f g/query, %.1f violation min\n",
+				day.TotalQueries, day.TotalCarbonG/1e3, day.CarbonPerQueryG, day.SLAViolationMin)
+		}
+		b.ReportMetric(float64(day.TotalQueries), "queries")
+		b.ReportMetric(day.TotalCarbonG/1e3, "co2_kg")
+		b.ReportMetric(day.SLAViolationMin, "sla_violation_min")
+	}
+}
+
 // BenchmarkFleetRegions replays the two-region blackout day under the
 // spill geo policy: two engines stepped in lockstep, the geo router
 // moving overflow at every interval boundary, east dark for three

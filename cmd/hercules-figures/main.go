@@ -42,6 +42,13 @@ var figures = map[string]func(seed int64) experiments.Renderer{
 	"fig14": func(s int64) experiments.Renderer {
 		return experiments.Fig14TaskSchedulerSpeedup(s, nil)
 	},
+	"figcarbon": func(s int64) experiments.Renderer {
+		r, err := experiments.FigCarbon(s)
+		if err != nil {
+			fatal(err)
+		}
+		return r
+	},
 	"fig15":    func(int64) experiments.Renderer { return experiments.Fig15ServerArchExploration() },
 	"fig16":    func(s int64) experiments.Renderer { return experiments.Fig16ModelEvolution(s) },
 	"fig17":    func(s int64) experiments.Renderer { return experiments.Fig17ClusterSchedulers(s) },
@@ -63,7 +70,7 @@ var figures = map[string]func(seed int64) experiments.Renderer{
 // cheap figures run in under a second; "all" runs everything.
 var order = []string{
 	"table1", "table2", "fig1", "fig2b", "fig2c", "fig2d", "fig5",
-	"fig4", "fig7", "fig12", "fig11", "fig6", "fig14",
+	"fig4", "fig7", "fig12", "fig11", "fig6", "fig14", "figcarbon",
 	"fig8", "fig15", "fig16", "fig17", "headline",
 	"ablation-contention", "ablation-search", "ablation-hot", "ablation-lp",
 }

@@ -11,6 +11,7 @@
 //	               [-routers rr,least,p2c,hetero] [-policies greedy,hercules]
 //	               [-scaler breach|prop|none] [-admission none|deadline]
 //	               [-scenario name|@file.json|'[...]'] [-list-scenarios]
+//	               [-grid duck|coal|hydro|@grid.json|'{...}']
 //	               [-geo local|spill]
 //	               [-trace arrivals.ndjson] [-record arrivals.ndjson]
 //	               [-cache-hit 0.8] [-cache-latency 0.3] [-cache-fill 2000]
@@ -56,6 +57,17 @@
 // spec. -record and -trace are single-region features and refuse a
 // regions spec.
 //
+// -grid attaches a grid carbon-intensity timeline (internal/grid) to
+// the replay: each interval's measured joules are priced at the grid's
+// gCO2/kWh for that hour, the report carries total gCO2 and gCO2/query
+// next to the energy numbers, and the carbon-aware policies (-scaler
+// carbon, -admission carbon) read the timeline to shift headroom and
+// deferrable-class work into the cleaner hours. scenario "powercap"
+// events hold a server type to a total watt budget (derating it like a
+// thermal throttle) whether or not a grid is attached. Without -grid
+// (and no "grid" field in the spec) nothing changes: replays are
+// byte-identical to a grid-less build.
+//
 // -record captures the run's arrival stream (every query plus each
 // interval's offered-load metadata) as an NDJSON trace; -trace feeds a
 // recorded file back in, replaying exactly those arrivals instead of
@@ -100,6 +112,7 @@ import (
 
 	"hercules/internal/cluster"
 	"hercules/internal/fleet"
+	"hercules/internal/grid"
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
@@ -141,6 +154,7 @@ type cliFlags struct {
 	admission *string
 	geo       *string
 	scen      *string
+	gridArg   *string
 	listScen  *bool
 	trace     *string
 	record    *string
@@ -195,6 +209,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 			"geo-routing policy for a multi-region spec ("+strings.Join(fleet.GeoPolicyNames(), ", ")+"; empty = local)"),
 		scen: fs.String("scenario", def.Scenario,
 			"non-stationary scenario: a built-in name, @spec.json, or an inline JSON event array"),
+		gridArg: fs.String("grid", "",
+			"grid carbon-intensity timeline: a preset ("+strings.Join(grid.Presets(), ", ")+"), @spec.json, or inline JSON (empty = no carbon accounting)"),
 		listScen: fs.Bool("list-scenarios", false, "list the built-in scenarios and exit"),
 		trace: fs.String("trace", def.Trace,
 			"replay recorded arrivals from this NDJSON trace instead of synthesizing load (see -record)"),
@@ -281,6 +297,17 @@ func buildSpec(cf *cliFlags, fs *flag.FlagSet) (fleet.Spec, error) {
 		"seed":          func(s *fleet.Spec) { s.Options.Seed = *cf.seed },
 		"trace-sample":  func(s *fleet.Spec) { s.Options.TraceSample = *cf.traceSample },
 		"sketch-tails":  func(s *fleet.Spec) { s.Options.SketchTails = *cf.sketchTails },
+	}
+	// -grid resolves through grid.Parse (preset name, @file, or inline
+	// JSON) and so lives outside the overlays table: parsing can fail.
+	// The flag wins over a spec file's grid when explicitly set, and an
+	// explicit -grid "" clears it (grid.Parse of "" is the zero spec).
+	if *cf.spec == "" || flagWasSet(fs, "grid") {
+		g, err := grid.Parse(*cf.gridArg)
+		if err != nil {
+			return spec, err
+		}
+		spec.Grid = g
 	}
 	if *cf.spec == "" {
 		for _, apply := range overlays {

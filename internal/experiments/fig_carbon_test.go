@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigCarbon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("carbon sweep replays 12 full days")
+	}
+	t.Parallel()
+	r, err := FigCarbon(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(CarbonPolicies) * len(CarbonCurves) * len(CarbonCaps)
+	if len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if row.Day.TotalCarbonG <= 0 {
+			t.Errorf("%s/%s/%s: TotalCarbonG = %v, want > 0",
+				row.Curve, row.Cap, row.Scaler, row.Day.TotalCarbonG)
+		}
+		if row.Day.CarbonPerQueryG <= 0 {
+			t.Errorf("%s/%s/%s: CarbonPerQueryG = %v, want > 0",
+				row.Curve, row.Cap, row.Scaler, row.Day.CarbonPerQueryG)
+		}
+	}
+
+	// The acceptance headline: every carbon cell must sit on the
+	// carbon-vs-SLA pareto frontier relative to latency-only "prop"
+	// provisioning — never more SLA minutes, and either less CO2
+	// outright or CO2 within a small tolerance bought back as SLA
+	// minutes (the flat coal grid under a power cap is the one cell
+	// where deferral buys SLA headroom rather than carbon).
+	const co2Tolerance = 1.03
+	for _, curve := range CarbonCurves {
+		for _, cap := range CarbonCaps {
+			ref, okR := r.Cell("prop", curve, cap.Name)
+			car, okC := r.Cell("carbon", curve, cap.Name)
+			if !okR || !okC {
+				t.Fatalf("missing prop/carbon cells for %s/%s", curve, cap.Name)
+			}
+			if car.Day.SLAViolationMin > ref.Day.SLAViolationMin {
+				t.Errorf("%s/%s: carbon pair pays %.1f SLA minutes vs prop's %.1f",
+					curve, cap.Name, car.Day.SLAViolationMin, ref.Day.SLAViolationMin)
+			}
+			lessCO2 := car.Day.TotalCarbonG < ref.Day.TotalCarbonG
+			lessSLA := car.Day.SLAViolationMin < ref.Day.SLAViolationMin
+			withinTol := car.Day.TotalCarbonG <= ref.Day.TotalCarbonG*co2Tolerance
+			if !lessCO2 && !(lessSLA && withinTol) {
+				t.Errorf("%s/%s: carbon pair dominated: %.1f g / %.1f min vs prop %.1f g / %.1f min",
+					curve, cap.Name, car.Day.TotalCarbonG, car.Day.SLAViolationMin,
+					ref.Day.TotalCarbonG, ref.Day.SLAViolationMin)
+			}
+		}
+	}
+
+	// The duck curve's midday valley is where time-shifting pays: the
+	// saving there must be material, not a rounding artifact.
+	duck, _ := r.Cell("carbon", "duck", "nocap")
+	duckRef, _ := r.Cell("prop", "duck", "nocap")
+	if saving := 1 - duck.Day.TotalCarbonG/duckRef.Day.TotalCarbonG; saving < 0.05 {
+		t.Errorf("duck/nocap: carbon saving %.2f%%, want >= 5%%", saving*100)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"Carbon pareto", "duck", "coal", "cap7kW", "co2_kg", "vs prop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}

@@ -36,6 +36,15 @@ type AdmissionSignal struct {
 	// replayed slice; PrevDropFrac its queue-drop fraction.
 	PrevP99MS    float64
 	PrevDropFrac float64
+	// GridGPerKWh is the interval's grid carbon intensity and
+	// GridMeanGPerKWh the day's mean; DeferrableFrac is the share of
+	// the stream in the deferrable query class — the ceiling a
+	// carbon-aware policy may defer to cleaner hours (the realtime
+	// remainder is never its to shed). All zero when no grid is
+	// configured.
+	GridGPerKWh     float64
+	GridMeanGPerKWh float64
+	DeferrableFrac  float64
 }
 
 func init() {

@@ -9,8 +9,10 @@ import (
 	"sync"
 
 	"hercules/internal/cluster"
+	"hercules/internal/grid"
 	"hercules/internal/hw"
 	"hercules/internal/model"
+	"hercules/internal/power"
 	"hercules/internal/profiler"
 	"hercules/internal/scenario"
 	"hercules/internal/stats"
@@ -142,7 +144,13 @@ type Engine struct {
 	// CacheSpec); the zero value disables it and replays bit-identically
 	// to the cache-less engine. NewEngine copies it from Spec.Cache.
 	Cache CacheSpec
-	Opts  Options
+	// Grid prices the replay's measured energy against a carbon-
+	// intensity timeline (grid.Spec); beginDay compiles it against the
+	// day's geometry. The zero value disables carbon accounting and
+	// replays bit-identically to the grid-less engine. NewEngine copies
+	// it from Spec.Grid.
+	Grid grid.Spec
+	Opts Options
 
 	newRouter func() Router
 	models    map[string]*model.Model
@@ -152,7 +160,12 @@ type Engine struct {
 	prevObs   map[string]modelObs
 	instSeq   int
 	baseOverR float64
-	scratch   replayScratch
+	// gridTL is the day's compiled carbon-intensity timeline (nil reads
+	// as zero intensity — the no-grid replay); tdpW caches per-type
+	// server TDP for the powercap watt→derate conversion.
+	gridTL  *grid.Timeline
+	tdpW    map[string]float64
+	scratch replayScratch
 	// run is the in-flight day's cross-interval state (beginDay sets
 	// it, endDay clears it); an Engine replays one day at a time.
 	run *dayRun
@@ -269,9 +282,17 @@ type IntervalStats struct {
 	// the provisioned budget the cluster layer reports.
 	EnergyKJ            float64 `json:"energy_kj"`
 	ProvisionedEnergyKJ float64 `json:"provisioned_energy_kj"`
-	Reprovisioned       bool    `json:"reprovisioned"`
-	EarlyReprovision    bool    `json:"early_reprovision"`
-	Boosted             bool    `json:"boosted"`
+	// GridGPerKWh is the grid carbon intensity this interval's energy
+	// was priced at, and CarbonG the resulting emissions in grams of
+	// CO2. Both zero (and omitted) when no grid is configured.
+	GridGPerKWh float64 `json:"grid_g_per_kwh,omitempty"`
+	CarbonG     float64 `json:"carbon_g,omitempty"`
+	// PowerCappedTypes counts server types a powercap scenario event
+	// holds under a watt budget this interval.
+	PowerCappedTypes int  `json:"power_capped_types,omitempty"`
+	Reprovisioned    bool `json:"reprovisioned"`
+	EarlyReprovision bool `json:"early_reprovision"`
+	Boosted          bool `json:"boosted"`
 	// SpillInServed / SpillInDropped count the remote-origin queries a
 	// geo-router spilled into this region's fleet (served with their
 	// inter-region RTT added to latency, or dropped here); SpillOutQPS
@@ -316,9 +337,15 @@ type DayResult struct {
 	MaxP99MS            float64 `json:"max_p99_ms"`
 	EnergyKJ            float64 `json:"energy_kj"`
 	ProvisionedEnergyKJ float64 `json:"provisioned_energy_kj"`
-	Reprovisions        int     `json:"reprovisions"`
-	EarlyReprovisions   int     `json:"early_reprovisions"`
-	AutoscaleEvents     int     `json:"autoscale_events"`
+	// TotalCarbonG prices the day's measured energy against the grid
+	// carbon-intensity timeline, and CarbonPerQueryG is that total over
+	// served queries — gCO2/query next to J/query. Both zero (and
+	// omitted) when no grid is configured.
+	TotalCarbonG      float64 `json:"total_carbon_g,omitempty"`
+	CarbonPerQueryG   float64 `json:"carbon_per_query_g,omitempty"`
+	Reprovisions      int     `json:"reprovisions"`
+	EarlyReprovisions int     `json:"early_reprovisions"`
+	AutoscaleEvents   int     `json:"autoscale_events"`
 	// BoostedIntervals counts intervals replayed with autoscaler boost
 	// headroom in force — the day-level view of IntervalStats.Boosted
 	// (per-interval flags don't survive a cross-engine merge; a count
@@ -450,6 +477,24 @@ func (e *Engine) beginDay(ws []cluster.Workload) error {
 	r.stepS = ws[0].Trace.StepS
 	r.every = max(e.Opts.ReprovisionEvery, 1)
 
+	// Compile the grid intensity timeline against the day's geometry,
+	// folding the region's diurnal phase so a phase-shifted region's
+	// grid tracks its local clock. No grid → nil timeline → every
+	// carbon branch below is dead and the replay is byte-identical to a
+	// grid-less build.
+	e.gridTL = nil
+	if e.Grid.Enabled() {
+		region, phaseH := "local", 0.0
+		if len(e.Spec.Regions) == 1 {
+			region, phaseH = e.Spec.Regions[0].Name, e.Spec.Regions[0].PhaseH
+		}
+		tl, err := e.Grid.Compile(region, steps, r.stepS, phaseH)
+		if err != nil {
+			return err
+		}
+		e.gridTL = tl
+	}
+
 	// One bounded worker pool serves the whole day: started here, fed a
 	// batch of independent shards per interval, drained by endDay. Shard
 	// RNG streams are seeded per (interval, model, shard), so scheduling
@@ -529,7 +574,9 @@ func (e *Engine) stepInterval(i int, adj *geoAdjust) IntervalStats {
 	scheduled := i%r.every == 0
 	reprovision := i == 0 || scheduled || r.earlyPending
 	if reprovision {
-		e.Provisioner.OverProvisionR = e.baseOverR + r.extraR
+		// A carbon-aware scaler may return negative extraR to run lean
+		// in dirty hours; headroom never goes below zero.
+		e.Provisioner.OverProvisionR = math.Max(e.baseOverR+r.extraR, 0)
 		e.Provisioner.Unavailable = r.knownFleet.Killed
 		provLoads := loads
 		if e.cacheActive {
@@ -555,8 +602,13 @@ func (e *Engine) stepInterval(i int, adj *geoAdjust) IntervalStats {
 	ist.Boosted = r.extraR > 0
 	ist.ActiveServers = r.active.ActiveServers
 	ist.DeadServers = dead
+	ist.PowerCappedTypes = len(eff.PowerCapW)
 	ist.ProvisionedKW = r.active.ProvisionedPowerW / 1e3
 	ist.ProvisionedEnergyKJ = r.active.ProvisionedPowerW * r.stepS / 1e3
+	if e.gridTL != nil {
+		ist.GridGPerKWh = e.gridTL.At(i)
+		ist.CarbonG = power.CarbonG(ist.EnergyKJ, ist.GridGPerKWh)
+	}
 	if adj != nil {
 		ist.SpillOutQPS = adj.outQPS
 	}
@@ -566,6 +618,12 @@ func (e *Engine) stepInterval(i int, adj *geoAdjust) IntervalStats {
 
 	r.earlyPending, r.extraR = false, 0
 	if e.Scaler != nil {
+		if g, ok := e.Scaler.(GridObserver); ok && e.gridTL != nil {
+			// The next interval's intensity plays the role of the
+			// day-ahead forecast a grid operator publishes (At wraps at
+			// the day boundary), judged against the day's mean.
+			g.ObserveGrid(e.gridTL.At(i+1), e.gridTL.MeanG())
+		}
 		r.earlyPending, r.extraR = e.Scaler.IntervalEnd()
 	}
 	if !eff.SameFleetState(r.knownFleet) {
@@ -603,7 +661,8 @@ func (e *Engine) endDay() DayResult {
 // plus the fleet-wide count of down servers. With no fleet effects the
 // input pools are returned untouched.
 func (e *Engine) effectiveInstances(insts map[string][]*Instance, eff scenario.Effects) (map[string][]*Instance, int) {
-	if len(eff.Killed) == 0 && len(eff.DerateFrac) == 0 {
+	capFrac := e.powercapFrac(eff)
+	if len(eff.Killed) == 0 && len(eff.DerateFrac) == 0 && len(capFrac) == 0 {
 		return insts, 0
 	}
 	fleetCount := e.fleetCounts()
@@ -651,7 +710,14 @@ func (e *Engine) effectiveInstances(insts map[string][]*Instance, eff scenario.E
 			if deadIDs[in.ID] {
 				continue
 			}
-			if f := eff.DerateOf(in.Type); f < 1 {
+			// A derate and a powercap on the same type never coexist
+			// (scenario validation rejects the overlap), but a powercap
+			// composes with the type's survivors of a kill.
+			f := eff.DerateOf(in.Type)
+			if cf, ok := capFrac[in.Type]; ok {
+				f *= cf
+			}
+			if f < 1 {
 				in = in.Slowed(1 / f)
 			}
 			kept = append(kept, in)
@@ -668,6 +734,66 @@ func (e *Engine) fleetCounts() map[string]int {
 		counts[srv.Type] += e.Fleet.Counts[i]
 	}
 	return counts
+}
+
+// powercapPerServerW splits each powercapped type's total watt budget
+// across the type's surviving servers this interval — the per-server
+// power ceiling the energy sweep enforces. nil when no cap is active.
+func (e *Engine) powercapPerServerW(eff scenario.Effects) map[string]float64 {
+	if len(eff.PowerCapW) == 0 {
+		return nil
+	}
+	counts := e.fleetCounts()
+	out := make(map[string]float64, len(eff.PowerCapW))
+	for t, w := range eff.PowerCapW {
+		alive := min(eff.KilledOf(t), counts[t])
+		alive = counts[t] - alive
+		if alive <= 0 {
+			continue
+		}
+		out[t] = w / float64(alive)
+	}
+	return out
+}
+
+// powercapFrac converts the interval's per-server watt ceilings into
+// service-rate multipliers: a server held at a fraction of its TDP
+// runs at (to first order) that fraction of its service rate, floored
+// at 5% so a starvation-level budget slows servers instead of
+// dividing by zero. Types whose budget covers full TDP are absent
+// (no throttle).
+func (e *Engine) powercapFrac(eff scenario.Effects) map[string]float64 {
+	per := e.powercapPerServerW(eff)
+	if per == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(per))
+	for t, w := range per {
+		tdp := e.tdpWatts(t)
+		if tdp <= 0 {
+			continue
+		}
+		if f := math.Min(math.Max(w/tdp, 0.05), 1); f < 1 {
+			out[t] = f
+		}
+	}
+	return out
+}
+
+// tdpWatts resolves (and caches) a server type's TDP.
+func (e *Engine) tdpWatts(t string) float64 {
+	if w, ok := e.tdpW[t]; ok {
+		return w
+	}
+	var w float64
+	if srv, err := serverByType(t); err == nil {
+		w = srv.TDPWatts()
+	}
+	if e.tdpW == nil {
+		e.tdpW = make(map[string]float64)
+	}
+	e.tdpW[t] = w
+	return w
 }
 
 // buildInstances turns an allocation into per-model instance pools
@@ -1356,13 +1482,19 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 		frac := eff.Shed(m)
 		if e.Admission != nil {
 			prev := e.prevObs[m]
-			af := e.Admission.ShedFrac(AdmissionSignal{
+			sig := AdmissionSignal{
 				Model:        m,
 				SLATargetMS:  sla,
 				OfferedQPS:   loads[m],
 				PrevP99MS:    prev.p99MS,
 				PrevDropFrac: prev.dropFrac,
-			})
+			}
+			if e.gridTL != nil {
+				sig.GridGPerKWh = e.gridTL.At(idx)
+				sig.GridMeanGPerKWh = e.gridTL.MeanG()
+				sig.DeferrableFrac = e.Grid.Deferrable()
+			}
+			af := e.Admission.ShedFrac(sig)
 			af = math.Min(math.Max(af, 0), 0.95)
 			frac = 1 - (1-frac)*(1-af)
 		}
@@ -1572,6 +1704,7 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 	// channel utilization for utilization-driven scalers.
 	var watts, utilSum float64
 	nInsts := 0
+	capW := e.powercapPerServerW(eff)
 	for _, m := range names {
 		for _, in := range insts[m] {
 			idle := e.idleWatts(in.Type)
@@ -1580,7 +1713,13 @@ func (e *Engine) replayInterval(idx int, stepS float64, loads map[string]float64
 				peak = math.Max(entry.PowerW, idle)
 			}
 			u := in.Utilization(sliceS)
-			watts += idle + (peak-idle)*u
+			w := idle + (peak-idle)*u
+			if cw, ok := capW[in.Type]; ok && w > cw {
+				// The powercap is physical: whatever the workload wants,
+				// the server never draws past its share of the budget.
+				w = cw
+			}
+			watts += w
 			utilSum += u
 			nInsts++
 		}

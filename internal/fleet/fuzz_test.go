@@ -96,6 +96,9 @@ func FuzzSpecDecode(f *testing.F) {
 	f.Add([]byte(`{"options":{"slice_s":1e308,"shards":-9,"seed":null}}`))
 	f.Add([]byte(`{"sweep":{"routers":["p2c","rand"]},"admission":{"kind":"deadline","gain":1e309}}`))
 	f.Add([]byte(`{"models":[""],"cache":{"hit_rate":"NaN"}}`))
+	f.Add([]byte(`{"grid":{"curve":"duck","deferrable_frac":0.4},"scaler":"carbon","admission":"carbon"}`))
+	f.Add([]byte(`{"grid":{"hourly_g":[1,2,3],"regions":{"east":{"phase_h":-99}}}}`))
+	f.Add([]byte(`{"scenario":"{\"name\":\"c\",\"events\":[{\"kind\":\"powercap\",\"type\":\"T2\",\"watts\":-5}]}"}`))
 	f.Add([]byte(`[1,2,3]`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

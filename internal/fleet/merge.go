@@ -7,14 +7,15 @@ import "math"
 // algebra, audited for cross-engine correctness before the regional
 // merge was built on it:
 //
-//   - counts, energies and violation minutes sum;
+//   - counts, energies, carbon grams and violation minutes sum;
 //   - MaxP95/MaxP99 take the max (a max of maxes is the global max);
 //   - MeanP95/MeanP99 merge as query-weighted means — a plain mean of
 //     per-region means would let an idle region's quiet tail dilute a
 //     loaded region's, and would not be associative under uneven
 //     splits;
-//   - DropFrac and CacheHitRate are recomputed from the merged totals
-//     (never averaged: fractions of different denominators);
+//   - DropFrac, CacheHitRate and CarbonPerQueryG are recomputed from
+//     the merged totals (never averaged: ratios of different
+//     denominators);
 //   - Boosted survives as BoostedIntervals (a per-interval bool has no
 //     cross-engine sum; a count does);
 //   - cache warmth stays per-region interval state (IntervalStats
@@ -54,6 +55,7 @@ func MergeDays(parts ...DayResult) DayResult {
 		out.SLAViolationMin += p.SLAViolationMin
 		out.EnergyKJ += p.EnergyKJ
 		out.ProvisionedEnergyKJ += p.ProvisionedEnergyKJ
+		out.TotalCarbonG += p.TotalCarbonG
 		out.Reprovisions += p.Reprovisions
 		out.EarlyReprovisions += p.EarlyReprovisions
 		out.AutoscaleEvents += p.AutoscaleEvents
@@ -79,6 +81,10 @@ func MergeDays(parts ...DayResult) DayResult {
 	if out.TotalQueries > 0 {
 		out.DropFrac = float64(out.TotalDrops) / float64(out.TotalQueries)
 		out.CacheHitRate = float64(out.TotalCacheHits) / float64(out.TotalQueries)
+	}
+	out.CarbonPerQueryG = 0
+	if served := out.TotalQueries - out.TotalDrops; served > 0 {
+		out.CarbonPerQueryG = out.TotalCarbonG / float64(served)
 	}
 	return out
 }

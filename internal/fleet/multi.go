@@ -59,6 +59,22 @@ func NewMultiEngine(spec Spec, opts ...Option) (*MultiEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nspec.Grid.Enabled() {
+		// Validate against the full region list here: each engine only
+		// sees its own region's (ForRegion-filtered) grid, so an
+		// override naming a region that exists nowhere must be caught
+		// before the split.
+		if err := nspec.Grid.Validate(); err != nil {
+			return nil, err
+		}
+		known := make([]string, len(nspec.Regions))
+		for i, r := range nspec.Regions {
+			known[i] = r.Name
+		}
+		if err := nspec.Grid.CheckRegions(known); err != nil {
+			return nil, err
+		}
+	}
 
 	me := &MultiEngine{Spec: nspec, Geo: geo, sc: sc}
 	multi := len(nspec.Regions) > 1
@@ -67,6 +83,7 @@ func NewMultiEngine(spec Spec, opts ...Option) (*MultiEngine, error) {
 		rs.Fleet = r.Fleet
 		rs.Regions = []RegionSpec{r}
 		rs.Geo = ""
+		rs.Grid = nspec.Grid.ForRegion(r.Name)
 		if multi {
 			// The region engines replay the scenario's per-region
 			// timelines (CompileRegions), installed by RunDay — not the
@@ -307,6 +324,7 @@ func (e *Engine) capacityQPS(eff scenario.Effects) float64 {
 		types = append(types, t)
 	}
 	sort.Strings(types)
+	capFrac := e.powercapFrac(eff)
 	models := e.Spec.withDefaults().Models
 	var total float64
 	for _, t := range types {
@@ -314,10 +332,17 @@ func (e *Engine) capacityQPS(eff scenario.Effects) float64 {
 		if alive <= 0 {
 			continue
 		}
+		slow := eff.DerateOf(t)
+		if cf, ok := capFrac[t]; ok {
+			// Powercapped servers serve slower; the spill policy sees
+			// the throttled capacity and can route around a capped
+			// region exactly as it routes around a derated one.
+			slow *= cf
+		}
 		best := 0.0
 		for _, m := range models {
 			if entry, ok := e.Table.Get(t, m); ok && entry.QPS > 0 {
-				best = math.Max(best, entry.QPS*eff.DerateOf(t))
+				best = math.Max(best, entry.QPS*slow)
 			}
 		}
 		total += best * float64(alive)

@@ -55,6 +55,8 @@ func NewRegionMetricsObserver(reg *telemetry.Registry, region string) Observer {
 	offered := reg.Gauge(name("fleet_offered_qps"))
 	servers := reg.Gauge(name("fleet_active_servers"))
 	kw := reg.Gauge(name("fleet_provisioned_kw"))
+	carbonMG := reg.Counter(name("fleet_carbon_mg_total"))
+	intensity := reg.Gauge(name("fleet_grid_g_per_kwh"))
 	p50 := reg.Histogram(name("fleet_interval_p50_ms"))
 	p95 := reg.Histogram(name("fleet_interval_p95_ms"))
 	p99 := reg.Histogram(name("fleet_interval_p99_ms"))
@@ -68,6 +70,10 @@ func NewRegionMetricsObserver(reg *telemetry.Registry, region string) Observer {
 		offered.Set(ist.OfferedQPS)
 		servers.Set(float64(ist.ActiveServers))
 		kw.Set(ist.ProvisionedKW)
+		// Counters are integral; carbon accumulates in milligrams so
+		// sub-gram intervals don't round away.
+		carbonMG.Add(int64(ist.CarbonG * 1e3))
+		intensity.Set(ist.GridGPerKWh)
 		p50.Observe(ist.P50MS)
 		p95.Observe(ist.P95MS)
 		p99.Observe(ist.P99MS)
@@ -106,6 +112,7 @@ func (d *dayAggregator) ObserveInterval(ist IntervalStats) {
 	res.SLAViolationMin += ist.ViolationMin
 	res.EnergyKJ += ist.EnergyKJ
 	res.ProvisionedEnergyKJ += ist.ProvisionedEnergyKJ
+	res.TotalCarbonG += ist.CarbonG
 	res.MeanP95MS += ist.P95MS
 	res.MeanP99MS += ist.P99MS
 	res.MaxP95MS = math.Max(res.MaxP95MS, ist.P95MS)
@@ -121,5 +128,8 @@ func (d *dayAggregator) finish(steps int) {
 	if res.TotalQueries > 0 {
 		res.DropFrac = float64(res.TotalDrops) / float64(res.TotalQueries)
 		res.CacheHitRate = float64(res.TotalCacheHits) / float64(res.TotalQueries)
+	}
+	if served := res.TotalQueries - res.TotalDrops; served > 0 {
+		res.CarbonPerQueryG = res.TotalCarbonG / float64(served)
 	}
 }

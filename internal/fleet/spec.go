@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hercules/internal/cluster"
+	"hercules/internal/grid"
 	"hercules/internal/hw"
 	"hercules/internal/model"
 	"hercules/internal/profiler"
@@ -67,6 +68,13 @@ type Spec struct {
 	// curves keyed by tracked warmth; see CacheSpec). The zero value
 	// disables it.
 	Cache CacheSpec `json:"cache,omitempty"`
+	// Grid prices the replay's measured energy against a grid
+	// carbon-intensity timeline (gCO2/kWh curves, optionally per
+	// region; see grid.Spec) and declares the deferrable query-class
+	// share the carbon admission policy may shed. The zero value
+	// disables carbon accounting entirely — results stay byte-identical
+	// to a grid-less build.
+	Grid grid.Spec `json:"grid,omitempty"`
 	// HeadroomR is the provisioner's over-provision rate R; 0 defers
 	// to DefaultSpec's serving headroom (0.15).
 	HeadroomR float64 `json:"headroom_r,omitempty"`
@@ -334,6 +342,18 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Grid.Enabled() {
+		if err := spec.Grid.Validate(); err != nil {
+			return nil, err
+		}
+		known := []string{"local"}
+		if len(spec.Regions) == 1 {
+			known = []string{spec.Regions[0].Name}
+		}
+		if err := spec.Grid.CheckRegions(known); err != nil {
+			return nil, err
+		}
+	}
 
 	fl, err := hw.NamedFleet(spec.Fleet)
 	if cfg.fleet != nil {
@@ -392,6 +412,7 @@ func NewEngine(spec Spec, opts ...Option) (*Engine, error) {
 		Observers:   cfg.observers,
 		TraceSrc:    traceSrc,
 		Cache:       spec.Cache,
+		Grid:        spec.Grid,
 		Opts:        spec.Options,
 	}
 	if cfg.tracer != nil {

@@ -1,0 +1,23 @@
+// Package grid models the electricity grid a serving fleet draws
+// from: per-region carbon-intensity timelines (gCO2/kWh) that the
+// fleet engine prices its measured energy against, turning joules per
+// query into grams of CO2 per query.
+//
+// The core type is Curve — a 24-hour intensity profile in grid-local
+// time, either a named preset (a solar "duck" curve, a coal-heavy
+// flat curve, a hydro-dominated flat curve) or 24 custom hourly
+// values. A Spec binds curves to regions (with an optional per-region
+// phase offset on top of the region's own diurnal phase) and declares
+// the deferrable share of the query stream — the class a carbon-aware
+// admission policy may defer to cleaner hours, while the realtime
+// class is never touched. Compile samples a curve at the replay's
+// interval midpoints into a Timeline, the flat per-interval view the
+// engine reads; Timeline.At wraps modulo the day, so "next interval"
+// reads at the day boundary behave like the day-ahead forecast every
+// grid operator publishes.
+//
+// Everything here is deterministic and pure: a Timeline is a function
+// of (spec, geometry, phase) only, so replays with a grid configured
+// stay byte-identical run to run, and replays without one are
+// untouched entirely.
+package grid

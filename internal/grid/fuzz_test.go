@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzGridParse hammers the grid spec decoder with arbitrary bytes.
+// Contract: never panic; any spec it accepts must validate cleanly,
+// carry only finite non-negative intensities, and compile against a
+// standard replay geometry for every region it names.
+func FuzzGridParse(f *testing.F) {
+	f.Add([]byte(`{"curve": "duck"}`))
+	f.Add([]byte(`{"curve": "coal", "deferrable_frac": 0.4}`))
+	f.Add([]byte(`{"hourly_g": [300,295,290,290,295,310,330,300,240,180,140,120,110,110,120,150,210,300,390,440,460,430,380,330]}`))
+	f.Add([]byte(`{"regions": {"east": {"curve": "coal"}, "west": {"phase_h": -8}}}`))
+	f.Add([]byte(`{"curve": "duck", "regions": {"west": {"hourly_g": [1,2,3]}}}`))
+	f.Add([]byte(`{"hourly_g": [-5]}`))
+	f.Add([]byte(`{"hourly_g": [1e999]}`))
+	f.Add([]byte(`{"curve": "fusion"}`))
+	f.Add([]byte(`{"curve": 17}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"regions": {"": {"curve": "duck"}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally consistent: re-validation
+		// agrees, and every declared region compiles.
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails Validate: %v", verr)
+		}
+		if d := s.Deferrable(); d < 0 || d >= 1 || math.IsNaN(d) {
+			t.Fatalf("Deferrable() = %g out of range", d)
+		}
+		regions := []string{"r0"}
+		for n := range s.Regions {
+			regions = append(regions, n)
+		}
+		for _, r := range regions {
+			tl, cerr := s.Compile(r, 288, 300, 0)
+			if cerr != nil {
+				t.Fatalf("accepted spec fails Compile(%q): %v", r, cerr)
+			}
+			for i := 0; i < tl.Steps(); i++ {
+				if v := tl.At(i); v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("compiled intensity At(%d) = %g from accepted spec", i, v)
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzGridSeedsAreCommitted pins the committed corpus: CI's
+// fuzz-smoke job replays testdata/fuzz/FuzzGridParse first, so every
+// known-bad shape must stay on disk as a regression test.
+func TestFuzzGridSeedsAreCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzGridParse")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed fuzz corpus missing: %v", err)
+	}
+	var n int
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "go test fuzz v1\n") {
+			t.Errorf("%s: not in 'go test fuzz v1' format", e.Name())
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatalf("no corpus files committed under %s", dir)
+	}
+}

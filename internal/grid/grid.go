@@ -1,0 +1,172 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is a 24-hour carbon-intensity profile in grid-local time:
+// HourlyG[h] is the intensity in gCO2/kWh at hour h. Between hour
+// points the intensity interpolates linearly, wrapping hour 23 back
+// into hour 0 — a smooth diurnal profile from 24 samples.
+type Curve struct {
+	// Name labels the curve in results and summaries.
+	Name string
+	// HourlyG holds the intensity in gCO2/kWh at each hour of day.
+	HourlyG [24]float64
+}
+
+// At evaluates the curve at a (fractional) hour of day, wrapping
+// modulo 24 so any real-valued hour — including phase-shifted and
+// next-day reads — lands on the profile.
+func (c Curve) At(hour float64) float64 {
+	h := math.Mod(hour, 24)
+	if h < 0 {
+		h += 24
+	}
+	i := int(h)
+	if i > 23 {
+		i = 23 // h == 24-ε rounding
+	}
+	f := h - float64(i)
+	return c.HourlyG[i]*(1-f) + c.HourlyG[(i+1)%24]*f
+}
+
+// Mean returns the curve's unweighted daily mean intensity.
+func (c Curve) Mean() float64 {
+	var sum float64
+	for _, v := range c.HourlyG {
+		sum += v
+	}
+	return sum / 24
+}
+
+// presets are the named built-in curves. "duck" is a solar-heavy
+// grid's duck curve: moderate overnight, a deep midday solar belly,
+// and a steep evening ramp that peaks right where the reference
+// diurnal traffic peak (hour 20) sits — the adversarial alignment the
+// carbon-aware policies exist for. "coal" is a coal-dominated grid's
+// flat high intensity and "hydro" a hydro-dominated grid's flat low
+// one (both near their IPCC lifecycle medians); on a flat curve every
+// hour costs the same, so carbon-aware scheduling has nothing to
+// move — the control pair of every carbon experiment.
+var presets = map[string]Curve{
+	"duck": {Name: "duck", HourlyG: [24]float64{
+		300, 295, 290, 290, 295, 310, 330, 300,
+		240, 180, 140, 120, 110, 110, 120, 150,
+		210, 300, 390, 440, 460, 430, 380, 330,
+	}},
+	"coal":  {Name: "coal", HourlyG: flat24(820)},
+	"hydro": {Name: "hydro", HourlyG: flat24(24)},
+}
+
+func flat24(g float64) [24]float64 {
+	var h [24]float64
+	for i := range h {
+		h[i] = g
+	}
+	return h
+}
+
+// Named resolves a preset curve by name; unknown names error listing
+// what is registered.
+func Named(name string) (Curve, error) {
+	if c, ok := presets[name]; ok {
+		return c, nil
+	}
+	return Curve{}, fmt.Errorf("grid: unknown curve %q (presets: %s)", name, presetList())
+}
+
+// Presets returns the built-in curve names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func presetList() string {
+	s := ""
+	for i, n := range Presets() {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// Timeline is a curve compiled against a concrete replay geometry:
+// one intensity value per trace interval, evaluated at the interval
+// midpoint in grid-local time. A nil Timeline reads as zero intensity
+// everywhere — the no-grid replay.
+type Timeline struct {
+	name string
+	vals []float64
+	mean float64
+}
+
+// CompileCurve samples a curve over steps intervals of stepS seconds,
+// shifted by phaseH hours: an interval at replay-hour H reads the
+// curve at local hour H − phaseH, matching how a region's diurnal
+// traffic peak shifts (a region at PhaseH −8 peaks eight replay-hours
+// early, when its local clock reads the reference evening).
+func CompileCurve(c Curve, steps int, stepS, phaseH float64) (*Timeline, error) {
+	if steps <= 0 || stepS <= 0 {
+		return nil, fmt.Errorf("grid: bad geometry (%d steps of %gs)", steps, stepS)
+	}
+	t := &Timeline{name: c.Name, vals: make([]float64, steps)}
+	var sum float64
+	for i := range t.vals {
+		midH := (float64(i) + 0.5) * stepS / 3600
+		v := c.At(midH - phaseH)
+		t.vals[i] = v
+		sum += v
+	}
+	t.mean = sum / float64(steps)
+	return t, nil
+}
+
+// At returns the intensity of interval i in gCO2/kWh, wrapping modulo
+// the compiled day — reading one interval past the end yields the
+// next day's first interval, the way a day-ahead forecast would.
+func (t *Timeline) At(i int) float64 {
+	if t == nil || len(t.vals) == 0 {
+		return 0
+	}
+	i %= len(t.vals)
+	if i < 0 {
+		i += len(t.vals)
+	}
+	return t.vals[i]
+}
+
+// MeanG returns the timeline's mean intensity over the compiled day —
+// the reference the carbon policies judge "low-carbon" and
+// "high-carbon" hours against.
+func (t *Timeline) MeanG() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.mean
+}
+
+// Steps returns the number of compiled intervals.
+func (t *Timeline) Steps() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.vals)
+}
+
+// CurveName returns the name of the curve the timeline was compiled
+// from.
+func (t *Timeline) CurveName() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}

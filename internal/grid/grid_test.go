@@ -1,0 +1,316 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCurveAtInterpolatesAndWraps(t *testing.T) {
+	c, err := Named("duck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0); got != c.HourlyG[0] {
+		t.Fatalf("At(0) = %g, want %g", got, c.HourlyG[0])
+	}
+	// Midpoint between two hour samples interpolates linearly.
+	want := (c.HourlyG[8] + c.HourlyG[9]) / 2
+	if got := c.At(8.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("At(8.5) = %g, want %g", got, want)
+	}
+	// Hour 23.5 wraps toward hour 0.
+	want = (c.HourlyG[23] + c.HourlyG[0]) / 2
+	if got := c.At(23.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("At(23.5) = %g, want %g", got, want)
+	}
+	// Negative and >24 hours land on the same profile.
+	if a, b := c.At(-4), c.At(20); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("At(-4) = %g, At(20) = %g; want equal", a, b)
+	}
+	if a, b := c.At(30.25), c.At(6.25); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("At(30.25) = %g, At(6.25) = %g; want equal", a, b)
+	}
+}
+
+func TestDuckCurveShape(t *testing.T) {
+	c, _ := Named("duck")
+	// Solar belly: midday must be the cheapest stretch, evening ramp
+	// the dirtiest, with the peak on the reference traffic peak hour.
+	if c.At(12) >= c.At(2) {
+		t.Fatalf("midday %g not below overnight %g", c.At(12), c.At(2))
+	}
+	peak, peakH := 0.0, 0
+	for h := 0; h < 24; h++ {
+		if c.HourlyG[h] > peak {
+			peak, peakH = c.HourlyG[h], h
+		}
+	}
+	if peakH != 20 {
+		t.Fatalf("duck peak at hour %d, want 20 (the reference diurnal traffic peak)", peakH)
+	}
+}
+
+func TestNamedUnknownListsPresets(t *testing.T) {
+	_, err := Named("fusion")
+	if err == nil {
+		t.Fatal("want error for unknown curve")
+	}
+	for _, p := range Presets() {
+		if !strings.Contains(err.Error(), p) {
+			t.Fatalf("error %q does not list preset %q", err, p)
+		}
+	}
+}
+
+func TestCompileCurveGeometry(t *testing.T) {
+	c, _ := Named("coal")
+	tl, err := CompileCurve(c, 288, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Steps() != 288 {
+		t.Fatalf("Steps = %d, want 288", tl.Steps())
+	}
+	// Flat curve: every interval reads the same value, mean included.
+	for i := 0; i < 288; i++ {
+		if tl.At(i) != 820 {
+			t.Fatalf("At(%d) = %g, want 820", i, tl.At(i))
+		}
+	}
+	if tl.MeanG() != 820 {
+		t.Fatalf("MeanG = %g, want 820", tl.MeanG())
+	}
+	if tl.CurveName() != "coal" {
+		t.Fatalf("CurveName = %q, want coal", tl.CurveName())
+	}
+	for _, bad := range [][2]float64{{0, 300}, {-1, 300}, {10, 0}, {10, -5}} {
+		if _, err := CompileCurve(c, int(bad[0]), bad[1], 0); err == nil {
+			t.Fatalf("CompileCurve(%v) accepted bad geometry", bad)
+		}
+	}
+}
+
+func TestCompilePhaseShiftsCurve(t *testing.T) {
+	c, _ := Named("duck")
+	base, err := CompileCurve(c, 288, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PhaseH −6: the region's local clock runs six hours behind the
+	// replay clock, so replay interval i reads what the unshifted
+	// timeline reads six hours (72 intervals) later.
+	shifted, err := CompileCurve(c, 288, 300, -6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 288; i++ {
+		if a, b := shifted.At(i), base.At(i+72); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("interval %d: shifted %g != base+72 %g", i, a, b)
+		}
+	}
+}
+
+func TestTimelineAtWraps(t *testing.T) {
+	c, _ := Named("duck")
+	tl, _ := CompileCurve(c, 288, 300, 0)
+	if a, b := tl.At(288), tl.At(0); a != b {
+		t.Fatalf("At(288) = %g, want wrap to At(0) = %g", a, b)
+	}
+	if a, b := tl.At(-1), tl.At(287); a != b {
+		t.Fatalf("At(-1) = %g, want wrap to At(287) = %g", a, b)
+	}
+	var nilTL *Timeline
+	if nilTL.At(3) != 0 || nilTL.MeanG() != 0 || nilTL.Steps() != 0 || nilTL.CurveName() != "" {
+		t.Fatal("nil Timeline must read as the no-grid zero")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Spec{}, ""},
+		{"preset", Spec{Curve: "duck"}, ""},
+		{"custom", Spec{HourlyG: flatSlice(100)}, ""},
+		{"both", Spec{Curve: "duck", HourlyG: flatSlice(100)}, "mutually exclusive"},
+		{"unknown curve", Spec{Curve: "fusion"}, "unknown curve"},
+		{"short hourly", Spec{HourlyG: []float64{1, 2, 3}}, "exactly 24"},
+		{"negative", Spec{HourlyG: flatAt(flatSlice(100), 3, -1)}, "hourly_g[3]: negative"},
+		{"nan", Spec{HourlyG: flatAt(flatSlice(100), 7, math.NaN())}, "hourly_g[7]"},
+		{"inf", Spec{HourlyG: flatAt(flatSlice(100), 0, math.Inf(1))}, "hourly_g[0]"},
+		{"bad frac", Spec{Curve: "duck", DeferrableFrac: 1.5}, "deferrable_frac"},
+		{"neg frac", Spec{Curve: "duck", DeferrableFrac: -0.1}, "deferrable_frac"},
+		{"region bad curve", Spec{Regions: map[string]Region{"east": {Curve: "fusion"}}}, `regions[east]`},
+		{"region short", Spec{Regions: map[string]Region{"west": {HourlyG: []float64{1}}}}, `regions[west]`},
+		{"region inf phase", Spec{Regions: map[string]Region{"west": {PhaseH: math.Inf(-1)}}}, "phase_h"},
+		{"empty region", Spec{Regions: map[string]Region{"": {Curve: "duck"}}}, "empty region name"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func flatSlice(g float64) []float64 {
+	s := make([]float64, 24)
+	for i := range s {
+		s[i] = g
+	}
+	return s
+}
+
+func flatAt(s []float64, i int, v float64) []float64 {
+	s[i] = v
+	return s
+}
+
+func TestSpecDeferrable(t *testing.T) {
+	if got := (Spec{}).Deferrable(); got != DefaultDeferrableFrac {
+		t.Fatalf("default Deferrable = %g, want %g", got, DefaultDeferrableFrac)
+	}
+	if got := (Spec{DeferrableFrac: 0.4}).Deferrable(); got != 0.4 {
+		t.Fatalf("Deferrable = %g, want 0.4", got)
+	}
+}
+
+func TestSpecCheckRegions(t *testing.T) {
+	s := Spec{Curve: "duck", Regions: map[string]Region{"east": {PhaseH: 1}}}
+	if err := s.CheckRegions([]string{"east", "west"}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	s.Regions["mars"] = Region{Curve: "coal"}
+	err := s.CheckRegions([]string{"east", "west"})
+	if err == nil || !strings.Contains(err.Error(), `"mars"`) ||
+		!strings.Contains(err.Error(), "east, west") {
+		t.Fatalf("error %v, want unknown region %q against the known list", err, "mars")
+	}
+}
+
+func TestSpecForRegion(t *testing.T) {
+	s := Spec{
+		Curve:          "duck",
+		DeferrableFrac: 0.3,
+		Regions: map[string]Region{
+			"east": {Curve: "coal"},
+			"west": {PhaseH: -8},
+		},
+	}
+	e := s.ForRegion("east")
+	if e.Curve != "duck" || e.DeferrableFrac != 0.3 {
+		t.Fatalf("ForRegion dropped spec-level fields: %+v", e)
+	}
+	if len(e.Regions) != 1 || e.Regions["east"].Curve != "coal" {
+		t.Fatalf("ForRegion(east) regions = %+v, want only east", e.Regions)
+	}
+	if o := s.ForRegion("other"); len(o.Regions) != 0 {
+		t.Fatalf("ForRegion(other) regions = %+v, want none", o.Regions)
+	}
+}
+
+func TestSpecCompile(t *testing.T) {
+	s := Spec{
+		Curve: "duck",
+		Regions: map[string]Region{
+			"east":  {Curve: "coal"},
+			"west":  {PhaseH: -6},
+			"south": {HourlyG: flatSlice(55)},
+		},
+	}
+	// Region with its own preset.
+	tl, err := s.Compile("east", 288, 300, 0)
+	if err != nil || tl.CurveName() != "coal" || tl.At(0) != 820 {
+		t.Fatalf("east: tl=%v err=%v, want coal preset", tl, err)
+	}
+	// Region with custom hourly values.
+	tl, err = s.Compile("south", 288, 300, 0)
+	if err != nil || tl.At(100) != 55 {
+		t.Fatalf("south: tl=%v err=%v, want flat 55 custom curve", tl, err)
+	}
+	// Unlisted region inherits the default curve, unshifted.
+	def, err := s.Compile("other", 288, 300, 0)
+	if err != nil || def.CurveName() != "duck" {
+		t.Fatalf("other: tl=%v err=%v, want default duck", def, err)
+	}
+	// Phase-only override composes the grid phase on top of the
+	// region's diurnal phase.
+	shifted, err := s.Compile("west", 288, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := shifted.At(0), def.At(72); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("west At(0) = %g, want default At(72) = %g", a, b)
+	}
+	// Same phase again via the engine-supplied diurnal phase argument.
+	viaArg, err := s.Compile("other", 288, 300, -6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := viaArg.At(0), shifted.At(0); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("phase via arg %g != phase via override %g", a, b)
+	}
+	// No default curve, region not listed: no grid there.
+	bare := Spec{Regions: map[string]Region{"east": {Curve: "coal"}}}
+	tl, err = bare.Compile("west", 288, 300, 0)
+	if err != nil || tl != nil {
+		t.Fatalf("west under bare spec: tl=%v err=%v, want nil timeline", tl, err)
+	}
+}
+
+func TestParseSpecErrorsCarryLineContext(t *testing.T) {
+	// Syntax error: line:col of the offending byte.
+	_, err := ParseSpec([]byte("{\n  \"curve\": \"duck\",\n  !\n}"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("syntax error %v, want line 3 context", err)
+	}
+	// Type error: line:col too.
+	_, err = ParseSpec([]byte("{\n  \"curve\": 17\n}"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("type error %v, want line 2 context", err)
+	}
+	// Semantic region error: the region key's line.
+	doc := "{\n  \"curve\": \"duck\",\n  \"regions\": {\n    \"east\": {\"phase_h\": 1},\n    \"west\": {\"curve\": \"fusion\"}\n  }\n}"
+	_, err = ParseSpec([]byte(doc))
+	if err == nil || !strings.Contains(err.Error(), "regions[west] (line 5)") {
+		t.Fatalf("region error %v, want regions[west] (line 5)", err)
+	}
+	// Unknown-region errors reuse the same located keys.
+	s, err := ParseSpec([]byte(doc[:strings.Index(doc, ",\n    \"west\"")] + "\n  }\n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.CheckRegions([]string{"west"})
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("unknown-region error %v, want line 4 context", err)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	if s, err := Parse(""); err != nil || s.Enabled() {
+		t.Fatalf("Parse(\"\") = %+v, %v; want disabled zero spec", s, err)
+	}
+	s, err := Parse("duck")
+	if err != nil || s.Curve != "duck" {
+		t.Fatalf("Parse(duck) = %+v, %v", s, err)
+	}
+	if _, err := Parse("fusion"); err == nil {
+		t.Fatal("Parse(fusion) must error")
+	}
+	s, err = Parse(`{"curve": "coal", "deferrable_frac": 0.4}`)
+	if err != nil || s.Curve != "coal" || s.DeferrableFrac != 0.4 {
+		t.Fatalf("inline Parse = %+v, %v", s, err)
+	}
+	if _, err := Parse("@/nonexistent/grid.json"); err == nil {
+		t.Fatal("Parse(@missing) must error")
+	}
+}

@@ -1,0 +1,362 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Spec is the JSON description of a run's grid: a default intensity
+// curve (a preset name or 24 custom hourly values — never both),
+// optional per-region overrides, and the deferrable share of the
+// query stream. The zero value means "no grid": carbon accounting is
+// off and the replay is byte-identical to a grid-less run.
+type Spec struct {
+	// Curve names a preset intensity curve (Presets) every region
+	// defaults to.
+	Curve string `json:"curve,omitempty"`
+	// HourlyG supplies a custom default curve as exactly 24 hourly
+	// gCO2/kWh values (mutually exclusive with Curve).
+	HourlyG []float64 `json:"hourly_g,omitempty"`
+	// Regions overrides the curve per region name. A region listed
+	// with only a phase offset inherits the default curve shifted; a
+	// region not listed uses the default curve unshifted. With no
+	// default curve at all, unlisted regions replay with zero
+	// intensity (their grid is simply not modeled).
+	Regions map[string]Region `json:"regions,omitempty"`
+	// DeferrableFrac is the share of every workload's stream in the
+	// deferrable query class — the only fraction a carbon-aware
+	// admission policy may defer to cleaner hours (realtime queries
+	// are never deferred). 0 defers to the default (0.25); must stay
+	// below 1.
+	DeferrableFrac float64 `json:"deferrable_frac,omitempty"`
+
+	// regionLine maps region keys to their 1-based line in the parsed
+	// document (ParseSpec sets it; specs decoded as part of a larger
+	// document leave it nil) — validation errors carry it as context.
+	regionLine map[string]int
+}
+
+// Region is one region's grid override: its own curve (preset name or
+// 24 hourly values), or just a phase offset on the spec's default
+// curve. PhaseH shifts the region's grid-local clock on top of the
+// region's own diurnal phase — for regions whose grid peaks offset
+// from their traffic.
+type Region struct {
+	Curve   string    `json:"curve,omitempty"`
+	HourlyG []float64 `json:"hourly_g,omitempty"`
+	PhaseH  float64   `json:"phase_h,omitempty"`
+}
+
+// DefaultDeferrableFrac is the deferrable-class share assumed when a
+// grid spec declares none.
+const DefaultDeferrableFrac = 0.25
+
+// Enabled reports whether the spec turns carbon accounting on.
+func (s Spec) Enabled() bool {
+	return s.Curve != "" || len(s.HourlyG) > 0 || len(s.Regions) > 0
+}
+
+// Deferrable returns the deferrable-class share, defaulted and
+// clamped to [0, 0.95].
+func (s Spec) Deferrable() float64 {
+	f := s.DeferrableFrac
+	if f == 0 {
+		f = DefaultDeferrableFrac
+	}
+	return math.Min(math.Max(f, 0), 0.95)
+}
+
+// Validate checks the spec: curve names must resolve, custom curves
+// must be exactly 24 finite non-negative values, curve and hourly_g
+// are mutually exclusive, and the deferrable fraction must sit in
+// [0, 1). Region errors carry the region's line when the spec came
+// through ParseSpec.
+func (s Spec) Validate() error {
+	if err := validateCurve(s.Curve, s.HourlyG); err != nil {
+		return err
+	}
+	if s.DeferrableFrac < 0 || s.DeferrableFrac >= 1 {
+		return fmt.Errorf("grid: deferrable_frac must be in [0, 1), got %g", s.DeferrableFrac)
+	}
+	names := make([]string, 0, len(s.Regions))
+	for n := range s.Regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n == "" {
+			return fmt.Errorf("grid: regions%s: empty region name", s.lineCtx(n))
+		}
+		r := s.Regions[n]
+		if err := validateCurve(r.Curve, r.HourlyG); err != nil {
+			return fmt.Errorf("grid: regions[%s]%s: %w", n, s.lineCtx(n), err)
+		}
+		if math.IsNaN(r.PhaseH) || math.IsInf(r.PhaseH, 0) {
+			return fmt.Errorf("grid: regions[%s]%s: phase_h must be finite", n, s.lineCtx(n))
+		}
+	}
+	return nil
+}
+
+// validateCurve checks one curve selection (shared by the spec level
+// and each region). The "grid: " prefix is the caller's.
+func validateCurve(name string, hourly []float64) error {
+	if name != "" && len(hourly) > 0 {
+		return fmt.Errorf("curve %q and hourly_g are mutually exclusive; pick one", name)
+	}
+	if name != "" {
+		if _, err := Named(name); err != nil {
+			return fmt.Errorf("unknown curve %q (presets: %s)", name, presetList())
+		}
+	}
+	if len(hourly) > 0 && len(hourly) != 24 {
+		return fmt.Errorf("hourly_g needs exactly 24 values, got %d", len(hourly))
+	}
+	for i, v := range hourly {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hourly_g[%d]: intensity must be finite, got %g", i, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("hourly_g[%d]: negative intensity %g gCO2/kWh", i, v)
+		}
+	}
+	return nil
+}
+
+// CheckRegions validates that every region override names a region of
+// the replay, erroring — with the offending key's line when known —
+// against the sorted known-region list otherwise.
+func (s Spec) CheckRegions(known []string) error {
+	if len(s.Regions) == 0 {
+		return nil
+	}
+	ok := make(map[string]bool, len(known))
+	for _, r := range known {
+		ok[r] = true
+	}
+	names := make([]string, 0, len(s.Regions))
+	for n := range s.Regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !ok[n] {
+			sorted := append([]string(nil), known...)
+			sort.Strings(sorted)
+			return fmt.Errorf("grid: regions%s names unknown region %q (replay regions: %s)",
+				s.lineCtx(n), n, strings.Join(sorted, ", "))
+		}
+	}
+	return nil
+}
+
+// lineCtx renders " (line N)" for a region key ParseSpec located, or
+// nothing.
+func (s Spec) lineCtx(region string) string {
+	if ln := s.regionLine[region]; ln > 0 {
+		return fmt.Sprintf(" (line %d)", ln)
+	}
+	return ""
+}
+
+// ForRegion returns the spec narrowed to one region of a multi-region
+// replay: the default curve and class split survive, and only the
+// named region's override is kept — what each regional engine
+// compiles against.
+func (s Spec) ForRegion(name string) Spec {
+	out := s
+	out.Regions = nil
+	out.regionLine = nil
+	if r, ok := s.Regions[name]; ok {
+		out.Regions = map[string]Region{name: r}
+	}
+	return out
+}
+
+// Compile resolves the region's curve and samples it over the replay
+// geometry, folding the region's diurnal phase (phaseH) together with
+// the region's own grid phase offset. It returns nil — zero intensity
+// everywhere — when the spec models no grid for this region.
+func (s Spec) Compile(region string, steps int, stepS, phaseH float64) (*Timeline, error) {
+	c, extraPhase, ok, err := s.curveFor(region)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return CompileCurve(c, steps, stepS, phaseH+extraPhase)
+}
+
+// curveFor resolves the curve and extra grid-phase offset one region
+// replays under; ok is false when the spec models no grid there.
+func (s Spec) curveFor(region string) (c Curve, extraPhase float64, ok bool, err error) {
+	if r, found := s.Regions[region]; found {
+		if r.Curve != "" || len(r.HourlyG) > 0 {
+			c, err = resolveCurve(r.Curve, r.HourlyG)
+			return c, r.PhaseH, err == nil, err
+		}
+		// Phase-only override: inherit the default curve, shifted.
+		extraPhase = r.PhaseH
+	}
+	if s.Curve == "" && len(s.HourlyG) == 0 {
+		return Curve{}, 0, false, nil
+	}
+	c, err = resolveCurve(s.Curve, s.HourlyG)
+	return c, extraPhase, err == nil, err
+}
+
+// resolveCurve turns a (preset name, custom hourly values) selection
+// into a Curve.
+func resolveCurve(name string, hourly []float64) (Curve, error) {
+	if len(hourly) > 0 {
+		if len(hourly) != 24 {
+			return Curve{}, fmt.Errorf("grid: hourly_g needs exactly 24 values, got %d", len(hourly))
+		}
+		c := Curve{Name: "custom"}
+		copy(c.HourlyG[:], hourly)
+		return c, nil
+	}
+	return Named(name)
+}
+
+// ParseSpec decodes a standalone grid spec document. Decode errors
+// carry the line:column of the offending byte; semantic errors (an
+// unknown curve, a negative or non-finite intensity, a malformed
+// region entry) name the JSON path, with the region key's line where
+// one is to blame. It never panics on any input.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if len(bytes.TrimSpace(data)) == 0 {
+		return s, fmt.Errorf("grid: empty grid spec (want {\"curve\":...} or {\"regions\":{...}})")
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errAs(err, &syn):
+			ln, col := lineCol(data, syn.Offset)
+			return Spec{}, fmt.Errorf("grid: line %d:%d: %v", ln, col, syn)
+		case errAs(err, &typ):
+			ln, col := lineCol(data, typ.Offset)
+			return Spec{}, fmt.Errorf("grid: line %d:%d: %v", ln, col, typ)
+		}
+		return Spec{}, fmt.Errorf("grid: %w", err)
+	}
+	s.regionLine = regionKeyLines(data)
+	return s, s.Validate()
+}
+
+// errAs is errors.As without the reflective fallback cost on the hot
+// no-error path (decode errors here are one of two concrete types).
+func errAs[T error](err error, target *T) bool {
+	e, ok := err.(T)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// Parse resolves the string form a run spec or -grid flag carries: a
+// preset curve name ("duck"), a JSON spec file reference
+// ("@grid.json"), or inline JSON. An empty string means no grid.
+func Parse(arg string) (Spec, error) {
+	arg = strings.TrimSpace(arg)
+	switch {
+	case arg == "":
+		return Spec{}, nil
+	case strings.HasPrefix(arg, "@"):
+		path := strings.TrimPrefix(arg, "@")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Spec{}, fmt.Errorf("grid: %w", err)
+		}
+		return ParseSpec(data)
+	case strings.HasPrefix(arg, "{"):
+		return ParseSpec([]byte(arg))
+	default:
+		if _, err := Named(arg); err != nil {
+			return Spec{}, err
+		}
+		return Spec{Curve: arg}, nil
+	}
+}
+
+// lineCol converts a byte offset into 1-based line and column.
+func lineCol(data []byte, off int64) (line, col int) {
+	if off < 0 {
+		off = 0
+	}
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	pre := data[:off]
+	line = 1 + bytes.Count(pre, []byte("\n"))
+	if i := bytes.LastIndexByte(pre, '\n'); i >= 0 {
+		col = int(off) - i
+	} else {
+		col = int(off) + 1
+	}
+	return line, col
+}
+
+// regionKeyLines walks the document's tokens and records the line of
+// every key directly inside the top-level "regions" object — the
+// context validation errors cite. Best-effort: any token error just
+// stops the walk (the unmarshal above already accepted the document).
+func regionKeyLines(data []byte) map[string]int {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	type frame struct {
+		obj       bool
+		key       string
+		expectKey bool
+	}
+	var stack []frame
+	var lines map[string]int
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return lines
+		}
+		off := dec.InputOffset() // end of the token: same line as the key
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{':
+				stack = append(stack, frame{obj: true, expectKey: true})
+			case '[':
+				stack = append(stack, frame{})
+			default: // '}' or ']'
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+				if len(stack) > 0 && stack[len(stack)-1].obj {
+					stack[len(stack)-1].expectKey = true
+				}
+			}
+		case string:
+			if len(stack) == 0 {
+				continue
+			}
+			top := &stack[len(stack)-1]
+			if top.obj && top.expectKey {
+				top.key = t
+				top.expectKey = false
+				if len(stack) == 2 && stack[0].key == "regions" {
+					if lines == nil {
+						lines = make(map[string]int)
+					}
+					lines[t] = 1 + bytes.Count(data[:off], []byte("\n"))
+				}
+			} else if top.obj {
+				top.expectKey = true
+			}
+		default:
+			if len(stack) > 0 && stack[len(stack)-1].obj {
+				stack[len(stack)-1].expectKey = true
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ var replayPackages = map[string]bool{
 	"internal/stats":     true,
 	"internal/workload":  true,
 	"internal/cluster":   true,
+	"internal/grid":      true,
 	"internal/perfbench": true,
 }
 

@@ -113,3 +113,10 @@ func Efficiency(qps, watts float64) float64 {
 func (m Model) EnergyJ(srv hw.Server, a Activity) float64 {
 	return m.Average(srv, a) * a.WallS
 }
+
+// CarbonG prices energy against a grid carbon intensity: energyKJ
+// kilojoules drawn at gPerKWh gCO2/kWh emit this many grams of CO2
+// (1 kWh = 3600 kJ).
+func CarbonG(energyKJ, gPerKWh float64) float64 {
+	return energyKJ / 3600 * gPerKWh
+}

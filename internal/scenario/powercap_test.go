@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func capEvent(typ string, watts, startH, endH float64) Event {
+	return Event{Kind: PowerCap, Type: typ, Watts: watts, StartH: startH, EndH: endH}
+}
+
+func TestPowerCapEventValidate(t *testing.T) {
+	if err := capEvent("T2", 7000, 17, 22).Validate(); err != nil {
+		t.Errorf("valid powercap rejected: %v", err)
+	}
+	bad := []Event{
+		capEvent("T2", 0, 17, 22),  // no budget
+		capEvent("T2", -1, 17, 22), // negative budget
+		capEvent("", 7000, 17, 22), // wildcard type is ambiguous
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad powercap %d (%+v) accepted", i, e)
+		}
+	}
+}
+
+// TestPowerCapConflictValidation pins the cross-event rule: a powercap
+// window may not overlap another powercap or a derate on the same
+// server type — and the error must name both events.
+func TestPowerCapConflictValidation(t *testing.T) {
+	derate := func(typ string, startH, endH float64) Event {
+		return Event{Kind: Derate, Type: typ, Factor: 0.5, StartH: startH, EndH: endH}
+	}
+	cases := []struct {
+		name    string
+		events  []Event
+		wantErr bool
+	}{
+		{"two caps same type overlapping",
+			[]Event{capEvent("T2", 7000, 17, 22), capEvent("T2", 5000, 20, 23)}, true},
+		{"two caps same type disjoint",
+			[]Event{capEvent("T2", 7000, 17, 20), capEvent("T2", 5000, 20, 23)}, false},
+		{"two caps different types overlapping",
+			[]Event{capEvent("T2", 7000, 17, 22), capEvent("T3", 2000, 17, 22)}, false},
+		{"cap overlapping typed derate",
+			[]Event{capEvent("T2", 7000, 17, 22), derate("T2", 18, 19)}, true},
+		{"cap overlapping wildcard derate",
+			[]Event{capEvent("T2", 7000, 17, 22), derate("", 18, 19)}, true},
+		{"cap overlapping other-type derate",
+			[]Event{capEvent("T2", 7000, 17, 22), derate("T3", 18, 19)}, false},
+		{"cap with derate before it",
+			[]Event{capEvent("T2", 7000, 17, 22), derate("T2", 10, 17)}, false},
+		{"derates overlapping each other stay legal",
+			[]Event{derate("T2", 10, 14), derate("T2", 12, 16)}, false},
+	}
+	for _, tc := range cases {
+		err := Scenario{Name: "t", Events: tc.events}.Validate()
+		if tc.wantErr && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if tc.wantErr && err != nil {
+			// Both events must be identified by index for the operator.
+			for _, want := range []string{"event 0", "event 1", "overlaps"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("%s: error %q missing %q", tc.name, err, want)
+				}
+			}
+		}
+	}
+
+	// Region scoping: different regions never conflict; an unscoped
+	// event conflicts with any region.
+	east := capEvent("T2", 7000, 17, 22)
+	east.Region = "east"
+	west := Event{Kind: Derate, Type: "T2", Factor: 0.5, StartH: 18, EndH: 19, Region: "west"}
+	if err := (Scenario{Name: "t", Events: []Event{east, west}}).Validate(); err != nil {
+		t.Errorf("different-region cap/derate rejected: %v", err)
+	}
+	anywhere := Event{Kind: Derate, Type: "T2", Factor: 0.5, StartH: 18, EndH: 19}
+	if err := (Scenario{Name: "t", Events: []Event{east, anywhere}}).Validate(); err == nil {
+		t.Error("unscoped derate overlapping a regional cap accepted")
+	}
+}
+
+func TestPowerCapCompileAndSummary(t *testing.T) {
+	s := Scenario{Name: "cap", Events: []Event{capEvent("T2", 7000, 2, 5)}}
+	tl, err := Compile(s, 8, 3600, map[string]int{"T2": 60, "T3": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tl.Active() {
+		t.Error("powercap timeline reports inactive")
+	}
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		if i >= 2 && i < 5 {
+			want = 7000
+		}
+		if got := tl.At(i).PowerCapOf("T2"); got != want {
+			t.Errorf("interval %d: PowerCapOf(T2) = %g, want %g", i, got, want)
+		}
+		if got := tl.At(i).PowerCapOf("T3"); got != 0 {
+			t.Errorf("interval %d: uncapped T3 reports %g W", i, got)
+		}
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "cap T2 servers at 7000W total") {
+		t.Errorf("Summary missing the cap line:\n%s", sum)
+	}
+}

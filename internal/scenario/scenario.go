@@ -45,6 +45,15 @@ const (
 	// enabled the hit rate collapses and misses flood the backends —
 	// the cold-start storm. Without a cache tier the event is a no-op.
 	Flush Kind = "flush"
+	// PowerCap derates every server of an explicitly named Type to a
+	// shared watt budget between StartH and EndH (a grid operator's
+	// demand-response call, a failing cooling plant, a contractual
+	// power ceiling): the engine splits Watts across the type's
+	// surviving servers, slows them to the fraction of their TDP the
+	// per-server share allows, and caps their measured power draw at
+	// that share. Like a derate, the control plane never sees it —
+	// only tails (and the energy meter) do.
+	PowerCap Kind = "powercap"
 	// Blackout takes the named Region offline for the window: every
 	// server in the region's fleet is killed (with the same detection
 	// lag as a Kill event) and the surviving regions absorb a flash
@@ -76,6 +85,9 @@ type Event struct {
 	Factor float64 `json:"factor,omitempty"`
 	Count  int     `json:"count,omitempty"`
 	Frac   float64 `json:"frac,omitempty"`
+	// Watts is a PowerCap event's budget: the total power the named
+	// server type may draw while the event is active.
+	Watts float64 `json:"watts,omitempty"`
 	// Region scopes the event to one region of a multi-region replay
 	// (required for Blackout, where it names the victim; optional for
 	// every other kind). Region-scoped events only compile under
@@ -110,6 +122,13 @@ func (e Event) Validate() error {
 		if e.Factor <= 0 || e.Factor >= 1 {
 			return fmt.Errorf("scenario: derate factor must be in (0,1), got %g", e.Factor)
 		}
+	case PowerCap:
+		if e.Watts <= 0 {
+			return fmt.Errorf("scenario: powercap event needs watts > 0")
+		}
+		if e.Type == "" {
+			return fmt.Errorf("scenario: powercap event needs an explicit server type (a budget across unknown types is ambiguous)")
+		}
 	case Shed:
 		if e.Factor <= 0 || e.Factor >= 1 {
 			return fmt.Errorf("scenario: shed fraction must be in (0,1), got %g", e.Factor)
@@ -137,14 +156,64 @@ type Scenario struct {
 	Events []Event `json:"events"`
 }
 
-// Validate checks every event.
+// Validate checks every event, then the cross-event constraints: a
+// powercap window may not overlap another powercap or a derate window
+// on the same server type (two mechanisms throttling one type at once
+// have no defined composition — a watt budget is absolute where a
+// derate is relative).
 func (s Scenario) Validate() error {
 	for i, e := range s.Events {
 		if err := e.Validate(); err != nil {
 			return fmt.Errorf("event %d: %w", i, err)
 		}
 	}
+	return s.validateCapConflicts()
+}
+
+// validateCapConflicts rejects overlapping powercap/derate windows
+// that target the same server type (in the same region scope), naming
+// both offending events. Mirrors the overlapping-blackout check in
+// CompileRegions; derate-on-derate overlaps remain legal — they
+// compose multiplicatively.
+func (s Scenario) validateCapConflicts() error {
+	for i, a := range s.Events {
+		if a.Kind != PowerCap {
+			continue
+		}
+		for j, b := range s.Events {
+			if i == j || (b.Kind != PowerCap && b.Kind != Derate) {
+				continue
+			}
+			if j < i && b.Kind == PowerCap {
+				continue // that pair was already checked as (j, i)
+			}
+			if a.StartH >= b.EndH || b.StartH >= a.EndH {
+				continue
+			}
+			// A wildcard derate throttles every type, the powercap's
+			// included; region scopes conflict when equal or when
+			// either event is unscoped (applies everywhere).
+			if b.Type != "" && b.Type != a.Type {
+				continue
+			}
+			if a.Region != "" && b.Region != "" && a.Region != b.Region {
+				continue
+			}
+			return fmt.Errorf(
+				"scenario: event %d (powercap %s %.0fW %.2fh-%.2fh) overlaps event %d (%s %s %.2fh-%.2fh) on server type %q; split the windows or drop one",
+				i, a.Type, a.Watts, a.StartH, a.EndH,
+				j, b.Kind, typeScope(b.Type), b.StartH, b.EndH, a.Type)
+		}
+	}
 	return nil
+}
+
+// typeScope renders an event's server-type selector for error text.
+func typeScope(t string) string {
+	if t == "" {
+		return "all types"
+	}
+	return t
 }
 
 // Active reports whether the scenario perturbs the replay at all.
@@ -207,7 +276,7 @@ func (s Scenario) Summary() string {
 	fmt.Fprintf(&sb, "%s: %d event(s)\n", s.Name, len(s.Events))
 	for _, e := range s.Events {
 		scope := e.Model
-		if e.Kind == Kill || e.Kind == Derate {
+		if e.Kind == Kill || e.Kind == Derate || e.Kind == PowerCap {
 			scope = e.Type
 		}
 		if e.Kind == Blackout {
@@ -231,6 +300,8 @@ func (s Scenario) Summary() string {
 			}
 		case Derate:
 			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh derate %s servers to %.0f%% rate\n", e.StartH, e.EndH, scope, e.Factor*100)
+		case PowerCap:
+			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh cap %s servers at %.0fW total\n", e.StartH, e.EndH, scope, e.Watts)
 		case Shed:
 			fmt.Fprintf(&sb, "  %5.2fh-%5.2fh shed %.0f%% of %s arrivals\n", e.StartH, e.EndH, e.Factor*100, scope)
 		case Flush:
@@ -261,6 +332,11 @@ type Effects struct {
 	FlushFrac  map[string]float64
 	Killed     map[string]int
 	DerateFrac map[string]float64
+	// PowerCapW maps a server type to the total watt budget a powercap
+	// event holds it under this interval (absent = uncapped). The
+	// engine converts the budget into a service-rate derate against
+	// the type's TDP and a per-server ceiling on measured power.
+	PowerCapW map[string]float64
 	// Blackout marks an interval whose whole region is offline (only
 	// CompileRegions sets it; the geo-router uses it to stop spilling
 	// into — and start evacuating — the dead region). The fleet effect
@@ -309,6 +385,10 @@ func (e Effects) DerateOf(serverType string) float64 {
 	}
 	return 1
 }
+
+// PowerCapOf returns the total watt budget the type is held under
+// this interval (0 = uncapped).
+func (e Effects) PowerCapOf(serverType string) float64 { return e.PowerCapW[serverType] }
 
 // TotalKilled sums the killed servers across types.
 func (e Effects) TotalKilled() int {
@@ -431,6 +511,13 @@ func Compile(s Scenario, steps int, stepS float64, fleetCounts map[string]int) (
 					}
 					eff.DerateFrac[t] = f
 				}
+			case PowerCap:
+				// Validation guarantees at most one active cap per type
+				// per instant, so a plain store is exact.
+				if eff.PowerCapW == nil {
+					eff.PowerCapW = make(map[string]float64)
+				}
+				eff.PowerCapW[ev.Type] = ev.Watts
 			}
 		}
 	}
@@ -493,7 +580,8 @@ func (t *Timeline) Active() bool {
 	}
 	for _, e := range t.effects {
 		if len(e.LoadScale) > 0 || len(e.SizeScale) > 0 || len(e.ShedFrac) > 0 ||
-			len(e.FlushFrac) > 0 || len(e.Killed) > 0 || len(e.DerateFrac) > 0 {
+			len(e.FlushFrac) > 0 || len(e.Killed) > 0 || len(e.DerateFrac) > 0 ||
+			len(e.PowerCapW) > 0 {
 			return true
 		}
 	}
